@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 3: guest memory page contiguity — the average length of
+ * contiguous regions among the pages a function faults on during a
+ * cold invocation. The paper reports 2-3 pages for all functions
+ * except lr_training (~5), explaining why OS read-ahead is
+ * ineffective for lazy snapshot paging (Sec. 4.2).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "func/profile.hh"
+#include "func/trace_gen.hh"
+#include "util/table.hh"
+
+using namespace vhive;
+
+int
+main()
+{
+    bench::banner("Figure 3: guest memory page contiguity");
+
+    func::TraceGenerator gen(0x76686976);
+    Table t({"function", "avg_contig_pages", "paper_target",
+             "ws_pages"});
+    for (const auto &p : func::functionBench()) {
+        // Average over several invocations (different inputs).
+        double acc = 0;
+        const int reps = 5;
+        std::int64_t pages = 0;
+        for (int i = 0; i < reps; ++i) {
+            auto trace = gen.invocation(p, i);
+            auto touched = trace.touchedPages();
+            acc += func::averageContiguity(touched);
+            pages = static_cast<std::int64_t>(touched.size());
+        }
+        const char *target =
+            p.name == "lr_training" ? "~5" : "2-3";
+        t.row()
+            .cell(p.name)
+            .cell(acc / reps, 2)
+            .cell(target)
+            .cell(pages);
+    }
+    t.print();
+
+    std::printf("\nPaper finding: contiguous regions average 2-3 "
+                "pages (lr_training up to 5),\nso sparse disk accesses "
+                "defeat the host OS's read-ahead prefetching.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 4: memory footprint of function instances after one
+ * invocation — booted from scratch (148-256 MB) vs loaded from a
+ * snapshot (8-99 MB, 24 MB average; a 61-96% reduction). Footprints
+ * are measured like `ps` would: resident guest pages + hypervisor
+ * overhead.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "func/profile.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace vhive;
+
+namespace {
+
+struct Row {
+    double booted_mb = 0;
+    double restored_mb = 0;
+};
+
+Row
+measure(const func::FunctionProfile &profile)
+{
+    sim::Simulation sim;
+    core::Worker w(sim);
+    Row row;
+    bench::runScenario(sim, [&]() -> sim::Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(profile);
+        co_await orch.prepareSnapshot(profile.name);
+
+        core::InvokeOptions keep;
+        keep.keepWarm = true;
+        (void)co_await orch.invoke(
+            profile.name, core::ColdStartMode::BootFromScratch, keep);
+        row.booted_mb =
+            toMiB(orch.instanceFootprints(profile.name)[0]);
+        co_await orch.stopAllInstances(profile.name);
+
+        orch.flushHostCaches();
+        (void)co_await orch.invoke(
+            profile.name, core::ColdStartMode::VanillaSnapshot, keep);
+        row.restored_mb =
+            toMiB(orch.instanceFootprints(profile.name)[0]);
+        co_await orch.stopAllInstances(profile.name);
+    });
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4: instance memory footprint after one "
+                  "invocation");
+
+    Table t({"function", "booted_MB", "restored_MB", "reduction%"});
+    Samples restored;
+    for (const auto &p : func::functionBench()) {
+        Row r = measure(p);
+        restored.add(r.restored_mb);
+        t.row()
+            .cell(p.name)
+            .cell(r.booted_mb, 0)
+            .cell(r.restored_mb, 0)
+            .cell(100.0 * (1.0 - r.restored_mb / r.booted_mb), 0);
+    }
+    t.print();
+
+    std::printf("\nRestored footprints: %.0f-%.0f MB, avg %.0f MB "
+                "(paper: 8-99 MB, avg 24 MB)\n",
+                restored.min(), restored.max(), restored.mean());
+    std::printf("Paper finding: snapshot restore loads only the pages "
+                "the invocation touches,\nreducing footprint by "
+                "61-96%% versus a booted instance.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 9: average instance cold-start delay while sweeping the
+ * number of concurrently loading instances (1..64 independent
+ * functions, helloworld-class). The paper's baseline grows
+ * near-linearly (extracting only 32->81 MB/s from the SSD), while
+ * REAP stays low until it becomes disk-bandwidth-bound at a
+ * concurrency of ~16 (118-493 MB/s).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "func/profile.hh"
+#include "sim/sync.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace vhive;
+
+namespace {
+
+struct Result {
+    double avg_ms = 0;
+    double ssd_mb_s = 0; // aggregate: N x WS / wall time (Sec. 6.5)
+};
+
+sim::Task<void>
+oneInstance(core::Orchestrator &orch, std::string name,
+            core::ColdStartMode mode, Samples *lat, sim::Latch *done)
+{
+    core::InvokeOptions opts;
+    opts.forceCold = true;
+    auto bd = co_await orch.invoke(name, mode, opts);
+    lat->add(toMs(bd.total));
+    done->arrive();
+}
+
+Result
+measure(int concurrency, core::ColdStartMode mode)
+{
+    sim::Simulation sim;
+    core::Worker w(sim);
+    auto &orch = w.orchestrator();
+
+    // N independent helloworld-class functions (Sec. 6.5).
+    const auto &base = func::profileByName("helloworld");
+    std::vector<std::string> names;
+    for (int i = 0; i < concurrency; ++i) {
+        func::FunctionProfile p = base;
+        p.name = "hw_" + std::to_string(i);
+        names.push_back(p.name);
+        orch.registerFunction(p);
+    }
+
+    Samples lat;
+    Duration wall = 0;
+    bench::runScenario(sim, [&]() -> sim::Task<void> {
+        for (const auto &n : names) {
+            co_await orch.prepareSnapshot(n);
+            if (mode == core::ColdStartMode::Reap) {
+                orch.flushHostCaches();
+                (void)co_await orch.invoke(n, core::ColdStartMode::Reap);
+            }
+        }
+        orch.flushHostCaches();
+
+        Time t0 = sim.now();
+        sim::Latch done(sim, concurrency);
+        for (const auto &n : names)
+            sim.spawn(oneInstance(orch, n, mode, &lat, &done));
+        co_await done.wait();
+        wall = sim.now() - t0;
+    });
+
+    Result r;
+    r.avg_ms = lat.mean();
+    double ws_mb = toMiB(base.workingSet) * 1.048576; // MiB -> MB
+    r.ssd_mb_s =
+        ws_mb * concurrency / (toMs(wall) / 1000.0);
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9: cold-start delay vs number of "
+                  "concurrently loading instances");
+
+    Table t({"concurrency", "baseline_ms", "reap_ms",
+             "baseline_MB/s", "reap_MB/s", "reap_speedup"});
+    for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+        Result base = measure(n, core::ColdStartMode::VanillaSnapshot);
+        Result reap = measure(n, core::ColdStartMode::Reap);
+        t.row()
+            .cell(static_cast<std::int64_t>(n))
+            .cell(base.avg_ms, 0)
+            .cell(reap.avg_ms, 0)
+            .cell(base.ssd_mb_s, 0)
+            .cell(reap.ssd_mb_s, 0)
+            .cell(base.avg_ms / reap.avg_ms, 1);
+    }
+    t.print();
+
+    std::printf("\nPaper findings: the baseline's per-instance delay "
+                "grows near-linearly (its\naggregate SSD throughput "
+                "is stuck at 32-81 MB/s); REAP stays low (70->185 ms\n"
+                "from 1->8 instances) and becomes disk-bound from "
+                "concurrency ~16 (118-493 MB/s).\n");
+    return 0;
+}

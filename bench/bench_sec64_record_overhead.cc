@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sec. 6.4: the one-time cost of REAP's record phase. Recording
+ * serves every fault through userspace (userfaultfd + monitor), which
+ * the paper measures at +15-87% (28% on average) over a vanilla
+ * snapshot cold start — amortized by all later accelerated
+ * invocations.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "func/profile.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace vhive;
+
+namespace {
+
+struct Row {
+    double vanilla_ms = 0;
+    double record_ms = 0;
+};
+
+Row
+measure(const func::FunctionProfile &profile)
+{
+    sim::Simulation sim;
+    core::Worker w(sim);
+    Row row;
+    bench::runScenario(sim, [&]() -> sim::Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(profile);
+        co_await orch.prepareSnapshot(profile.name);
+
+        core::InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+
+        Samples vanilla;
+        for (int i = 0; i < 3; ++i) {
+            auto b = co_await orch.invoke(
+                profile.name, core::ColdStartMode::VanillaSnapshot,
+                opts);
+            vanilla.add(toMs(b.total));
+        }
+        row.vanilla_ms = vanilla.mean();
+
+        Samples record;
+        for (int i = 0; i < 3; ++i) {
+            orch.invalidateRecord(profile.name); // force re-record
+            auto r = co_await orch.invoke(
+                profile.name, core::ColdStartMode::Reap, opts);
+            if (!r.recordPhase)
+                std::abort();
+            record.add(toMs(r.total));
+        }
+        row.record_ms = record.mean();
+    });
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sec. 6.4: record-phase overhead over vanilla "
+                  "snapshot cold start");
+
+    Table t({"function", "vanilla_ms", "record_ms", "overhead%"});
+    Samples overheads;
+    for (const auto &p : func::functionBench()) {
+        Row r = measure(p);
+        double overhead = (r.record_ms / r.vanilla_ms - 1.0) * 100.0;
+        overheads.add(overhead);
+        t.row()
+            .cell(p.name)
+            .cell(r.vanilla_ms, 0)
+            .cell(r.record_ms, 0)
+            .cell(overhead, 1);
+    }
+    t.print();
+
+    std::printf("\nRecord overhead: %.0f%%-%.0f%%, avg %.0f%% (paper: "
+                "15-87%%, avg 28%%)\n",
+                overheads.min(), overheads.max(), overheads.mean());
+    return 0;
+}

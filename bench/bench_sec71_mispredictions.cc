@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sec. 7.1: REAP misprediction cost — the fraction of prefetched
+ * pages that the invocation never touches. The paper observes this
+ * fraction tracks the "unique pages" metric of Fig. 5 (3-39%), with
+ * no correctness impact, only extra SSD bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "func/profile.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace vhive;
+
+namespace {
+
+struct Row {
+    double wasted_frac = 0;
+    std::int64_t prefetched = 0;
+    std::int64_t residual = 0;
+};
+
+Row
+measure(const func::FunctionProfile &profile)
+{
+    sim::Simulation sim;
+    core::Worker w(sim);
+    Row row;
+    bench::runScenario(sim, [&]() -> sim::Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(profile);
+        co_await orch.prepareSnapshot(profile.name);
+        orch.flushHostCaches();
+        (void)co_await orch.invoke(profile.name,
+                                   core::ColdStartMode::Reap);
+        double wasted = 0;
+        const int reps = 4;
+        for (int i = 0; i < reps; ++i) {
+            core::InvokeOptions opts;
+            opts.flushPageCache = true;
+            opts.forceCold = true;
+            auto bd = co_await orch.invoke(
+                profile.name, core::ColdStartMode::Reap, opts);
+            wasted += static_cast<double>(bd.wastedPrefetch) /
+                      static_cast<double>(bd.prefetchedPages);
+            row.prefetched = bd.prefetchedPages;
+            row.residual += bd.residualFaults / reps;
+        }
+        row.wasted_frac = wasted / reps;
+    });
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Sec. 7.1: prefetched-but-unused (mispredicted) "
+                  "pages");
+
+    Table t({"function", "prefetched_pages", "wasted%",
+             "unique%(Fig.5)", "residual_faults"});
+    for (const auto &p : func::functionBench()) {
+        Row r = measure(p);
+        double unique_pct =
+            p.uniqueFrac * 100.0 +
+            p.stableDriftFrac * (1.0 - p.uniqueFrac) * 100.0;
+        t.row()
+            .cell(p.name)
+            .cell(r.prefetched)
+            .cell(r.wasted_frac * 100.0, 1)
+            .cell(unique_pct, 1)
+            .cell(r.residual);
+    }
+    t.print();
+
+    std::printf("\nPaper finding: the mispredicted fraction is close "
+                "to the per-invocation\nunique-page fraction (3-39%%); "
+                "the only cost is proportional SSD bandwidth.\n");
+    return 0;
+}

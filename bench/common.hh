@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: paper reference numbers
+ * (for side-by-side tables) and a scenario runner for coroutine
+ * workloads.
+ */
+
+#ifndef VHIVE_BENCH_COMMON_HH
+#define VHIVE_BENCH_COMMON_HH
+
+#include <array>
+#include <cstdio>
+
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+
+namespace vhive::bench {
+
+/** Paper-reported per-function numbers (Figs. 2 and 8), in ms. */
+struct PaperRef
+{
+    const char *name;
+    double warmMs;  ///< Fig. 2 warm bars
+    double coldMs;  ///< Fig. 2/8 baseline snapshot cold start
+    double reapMs;  ///< Fig. 8 REAP cold start
+};
+
+inline const std::array<PaperRef, 10> &
+paperRefs()
+{
+    static const std::array<PaperRef, 10> refs = {{
+        {"helloworld", 1, 232, 60},
+        {"chameleon", 29, 437, 97},
+        {"pyaes", 3, 309, 55},
+        {"image_rotate", 37, 594, 207},
+        {"json_serdes", 27, 535, 127},
+        {"lr_serving", 2, 647, 66},
+        {"cnn_serving", 192, 1424, 237},
+        {"rnn_serving", 25, 503, 82},
+        {"lr_training", 4991, 8057, 6090},
+        {"video_processing", 1476, 2642, 2540},
+    }};
+    return refs;
+}
+
+/** Look up a paper reference row by function name. */
+inline const PaperRef &
+paperRef(const std::string &name)
+{
+    for (const auto &r : paperRefs())
+        if (name == r.name)
+            return r;
+    std::fprintf(stderr, "no paper reference for %s\n", name.c_str());
+    std::abort();
+}
+
+/** Spawn a coroutine-returning callable and run the sim to idle. */
+template <typename Fn>
+void
+runScenario(sim::Simulation &sim, Fn &&body)
+{
+    struct Runner {
+        static sim::Task<void>
+        run(Fn &body)
+        {
+            co_await body();
+        }
+    };
+    sim.spawn(Runner::run(body));
+    sim.run();
+}
+
+/** Print a section header in the benchmark output. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n=== %s ===\n\n", title);
+}
+
+} // namespace vhive::bench
+
+#endif // VHIVE_BENCH_COMMON_HH

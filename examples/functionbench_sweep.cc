@@ -1,0 +1,97 @@
+/**
+ * @file
+ * FunctionBench sweep: run every function in the suite through each
+ * cold-start design point and print a comparison matrix. Demonstrates
+ * the mode-selection API and per-mode breakdowns.
+ *
+ * Usage: functionbench_sweep [reps]       (default 3)
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "func/profile.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace vhive;
+
+namespace {
+
+struct ModeResult {
+    Samples total_ms;
+};
+
+sim::Task<void>
+sweepOne(core::Worker &w, const func::FunctionProfile &profile,
+         int reps, std::array<ModeResult, 4> &out)
+{
+    const core::ColdStartMode modes[4] = {
+        core::ColdStartMode::VanillaSnapshot,
+        core::ColdStartMode::ParallelPageFaults,
+        core::ColdStartMode::WsFileCached,
+        core::ColdStartMode::Reap,
+    };
+
+    auto &orch = w.orchestrator();
+    orch.registerFunction(profile);
+    co_await orch.prepareSnapshot(profile.name);
+
+    // Record once so every prefetch-family mode has the WS files.
+    orch.flushHostCaches();
+    (void)co_await orch.invoke(profile.name, core::ColdStartMode::Reap);
+
+    for (int m = 0; m < 4; ++m) {
+        for (int i = 0; i < reps; ++i) {
+            core::InvokeOptions opts;
+            opts.flushPageCache = true;
+            opts.forceCold = true;
+            auto bd = co_await orch.invoke(profile.name, modes[m],
+                                           opts);
+            out[static_cast<size_t>(m)].total_ms.add(toMs(bd.total));
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+    if (reps < 1)
+        reps = 1;
+
+    std::printf("Cold-start latency (ms) by design point, %d reps "
+                "each:\n\n", reps);
+    Table t({"function", "vanilla", "parallel_pf", "ws_file", "reap",
+             "reap_speedup"});
+    Samples speedups;
+    for (const auto &p : func::functionBench()) {
+        sim::Simulation sim;
+        core::Worker w(sim);
+        std::array<ModeResult, 4> res;
+        sim.spawn(sweepOne(w, p, reps, res));
+        sim.run();
+        double speedup =
+            res[0].total_ms.mean() / res[3].total_ms.mean();
+        speedups.add(speedup);
+        t.row()
+            .cell(p.name)
+            .cell(res[0].total_ms.mean(), 0)
+            .cell(res[1].total_ms.mean(), 0)
+            .cell(res[2].total_ms.mean(), 0)
+            .cell(res[3].total_ms.mean(), 0)
+            .cell(speedup, 2);
+    }
+    t.print();
+    std::printf("\nGeomean REAP speedup over vanilla snapshots: "
+                "%.2fx\n", speedups.geomean());
+    return 0;
+}

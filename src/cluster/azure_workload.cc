@@ -1,0 +1,122 @@
+#include "cluster/azure_workload.hh"
+
+#include <cmath>
+
+#include "func/profile.hh"
+#include "util/logging.hh"
+
+namespace vhive::cluster {
+
+AzureWorkload::AzureWorkload(sim::Simulation &sim, Cluster &cluster,
+                             AzureWorkloadConfig config)
+    : sim(sim), cluster(cluster), cfg(std::move(config)),
+      rng(cfg.seed, "azure-workload")
+{
+    VHIVE_ASSERT(cfg.functions >= 1);
+    VHIVE_ASSERT(!cfg.profilePool.empty());
+    VHIVE_ASSERT(cfg.minInterarrival > 0 &&
+                 cfg.maxInterarrival >= cfg.minInterarrival);
+
+    const auto &pool = func::functionBench();
+    double log_min =
+        std::log(static_cast<double>(cfg.minInterarrival));
+    double log_max =
+        std::log(static_cast<double>(cfg.maxInterarrival));
+    for (int i = 0; i < cfg.functions; ++i) {
+        int pool_idx = cfg.profilePool[static_cast<size_t>(i) %
+                                       cfg.profilePool.size()];
+        func::FunctionProfile p =
+            pool[static_cast<size_t>(pool_idx)];
+        p.name = "az_" + std::to_string(i) + "_" + p.name;
+        names.push_back(p.name);
+        cluster.deploy(p);
+
+        // Log-uniform inter-arrival: most functions end up sporadic,
+        // matching the Azure study's long tail.
+        double u = rng.uniform();
+        interarrival.push_back(static_cast<Duration>(
+            std::exp(log_min + u * (log_max - log_min))));
+    }
+}
+
+sim::Task<void>
+AzureWorkload::arrivalLoop(int idx, sim::Latch *done)
+{
+    Rng local(cfg.seed,
+              "azure-arrivals/" + names[static_cast<size_t>(idx)]);
+    Duration mean = interarrival[static_cast<size_t>(idx)];
+    Time deadline = sim.now() + cfg.horizon;
+    while (true) {
+        Duration gap = static_cast<Duration>(
+            local.exponential(static_cast<double>(mean)));
+        if (sim.now() + gap >= deadline)
+            break;
+        co_await sim.delay(gap);
+        Duration e2e =
+            co_await cluster.invoke(names[static_cast<size_t>(idx)]);
+        result.e2eLatencyMs.add(toMs(e2e));
+        ++result.invocations;
+    }
+    done->arrive();
+}
+
+sim::Task<void>
+AzureWorkload::memorySampler()
+{
+    while (!samplerStopping) {
+        co_await sim.delay(cfg.samplePeriod);
+        memIntegralMbSec += toMiB(cluster.residentBytes()) *
+                            (static_cast<double>(cfg.samplePeriod) /
+                             static_cast<double>(kSecond));
+        sampledFor += cfg.samplePeriod;
+    }
+}
+
+sim::Task<AzureWorkloadResult>
+AzureWorkload::run()
+{
+    co_await cluster.prepareAllSnapshots();
+
+    if (cfg.preRecordWorkingSets &&
+        cluster.config().coldStartMode == core::ColdStartMode::Reap) {
+        // One record-phase invocation per function per worker, off
+        // the measured window.
+        for (const auto &n : names) {
+            for (int wi = 0; wi < cluster.workerCount(); ++wi) {
+                auto &orch = cluster.worker(wi).orchestrator();
+                orch.flushHostCaches();
+                core::InvokeOptions opts;
+                opts.forceCold = true;
+                (void)co_await orch.invoke(
+                    n, core::ColdStartMode::Reap, opts);
+            }
+        }
+        cluster.resetStats();
+    }
+
+    cluster.startAutoscaler();
+    sim.spawn(memorySampler());
+
+    sim::Latch done(sim, cfg.functions);
+    for (int i = 0; i < cfg.functions; ++i)
+        sim.spawn(arrivalLoop(i, &done));
+    co_await done.wait();
+
+    samplerStopping = true;
+    cluster.stopAutoscaler();
+
+    for (const auto &n : names) {
+        const auto &st = cluster.stats(n);
+        result.coldStarts += st.coldStarts;
+        result.warmHits += st.warmHits;
+    }
+    result.avgResidentMb =
+        sampledFor > 0 ? memIntegralMbSec /
+                             (static_cast<double>(sampledFor) /
+                              static_cast<double>(kSecond))
+                       : 0.0;
+    result.memoryGbMin = memIntegralMbSec / 1024.0 / 60.0;
+    co_return result;
+}
+
+} // namespace vhive::cluster

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Production-like workload synthesis following the Azure Functions
+ * characterization the paper builds its motivation on (Sec. 2.1,
+ * citing Shahrad et al.): most functions are invoked rarely (90%
+ * less than once per minute), run shortly, and arrive unpredictably.
+ * The generator deploys N functions whose mean inter-arrival times
+ * are log-uniform over a configurable range and drives independent
+ * Poisson arrivals for a simulated horizon while sampling the
+ * fleet's resident memory.
+ */
+
+#ifndef VHIVE_CLUSTER_AZURE_WORKLOAD_HH
+#define VHIVE_CLUSTER_AZURE_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace vhive::cluster {
+
+/** Configuration of the synthetic production mix. */
+struct AzureWorkloadConfig
+{
+    /** Number of deployed functions. */
+    int functions = 12;
+
+    /** Shortest mean inter-arrival in the mix. */
+    Duration minInterarrival = sec(20);
+
+    /** Longest mean inter-arrival in the mix (sporadic tail). */
+    Duration maxInterarrival = sec(900);
+
+    /** Simulated horizon. */
+    Duration horizon = sec(1800);
+
+    /** Memory sampling period for the GB-minute integral. */
+    Duration samplePeriod = sec(5);
+
+    /** Workload synthesis seed. */
+    std::uint64_t seed = 0xa27e;
+
+    /**
+     * Run REAP's one-time record phase for every function before the
+     * measured window (default). Deployed production functions have
+     * long since recorded their working sets; disable to study the
+     * cost of records landing inside the window.
+     */
+    bool preRecordWorkingSets = true;
+
+    /**
+     * Indices into func::functionBench() to draw profiles from
+     * (cycled). Defaults to the low/medium-weight functions so the
+     * mix resembles the short-running production population.
+     */
+    std::vector<int> profilePool = {0, 1, 2, 3, 4, 5, 7};
+};
+
+/** Results of one workload run. */
+struct AzureWorkloadResult
+{
+    Samples e2eLatencyMs;     ///< all invocations
+    std::int64_t coldStarts = 0;
+    std::int64_t warmHits = 0;
+    double avgResidentMb = 0;  ///< time-averaged fleet memory
+    double memoryGbMin = 0;    ///< integral of resident memory
+    std::int64_t invocations = 0;
+
+    double
+    coldFraction() const
+    {
+        auto total = coldStarts + warmHits;
+        return total ? static_cast<double>(coldStarts) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * Deploys the mix onto @p cluster and drives it. The cluster must be
+ * freshly constructed (no prior deployments); the run starts the
+ * autoscaler and stops it before returning.
+ */
+class AzureWorkload
+{
+  public:
+    AzureWorkload(sim::Simulation &sim, Cluster &cluster,
+                  AzureWorkloadConfig config = AzureWorkloadConfig{});
+
+    /** Names of the synthesized functions (after construction). */
+    const std::vector<std::string> &functionNames() const
+    {
+        return names;
+    }
+
+    /** Run the workload to completion and collect the results. */
+    sim::Task<AzureWorkloadResult> run();
+
+  private:
+    sim::Task<void> arrivalLoop(int idx, sim::Latch *done);
+    sim::Task<void> memorySampler();
+
+    sim::Simulation &sim;
+    Cluster &cluster;
+    AzureWorkloadConfig cfg;
+    std::vector<std::string> names;
+    std::vector<Duration> interarrival;
+    Rng rng;
+    bool samplerStopping = false;
+    double memIntegralMbSec = 0;
+    Duration sampledFor = 0;
+    AzureWorkloadResult result;
+};
+
+} // namespace vhive::cluster
+
+#endif // VHIVE_CLUSTER_AZURE_WORKLOAD_HH

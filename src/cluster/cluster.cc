@@ -1,0 +1,169 @@
+#include "cluster/cluster.hh"
+
+#include "net/rpc.hh"
+#include "util/logging.hh"
+
+namespace vhive::cluster {
+
+Cluster::Cluster(sim::Simulation &sim, ClusterConfig config)
+    : sim(sim), cfg(std::move(config))
+{
+    VHIVE_ASSERT(cfg.workers >= 1);
+    for (int i = 0; i < cfg.workers; ++i) {
+        core::WorkerConfig wc = cfg.worker;
+        // Each worker gets its own seed stream (distinct page layouts
+        // do not matter, but determinism across runs does).
+        wc.seed = cfg.worker.seed + static_cast<std::uint64_t>(i);
+        workers.push_back(std::make_unique<core::Worker>(sim, wc));
+    }
+}
+
+void
+Cluster::deploy(const func::FunctionProfile &profile)
+{
+    if (deployments.count(profile.name))
+        fatal("function %s already deployed", profile.name.c_str());
+    Deployment dep;
+    dep.profile = profile;
+    dep.lastUsed.assign(workers.size(), 0);
+    if (cfg.maxConcurrencyPerFunction > 0) {
+        dep.concurrency = std::make_unique<sim::Semaphore>(
+            sim, cfg.maxConcurrencyPerFunction);
+    }
+    deployments.emplace(profile.name, std::move(dep));
+    for (auto &w : workers)
+        w->orchestrator().registerFunction(profile);
+}
+
+sim::Task<void>
+Cluster::prepareAllSnapshots()
+{
+    for (auto &entry : deployments) {
+        for (auto &w : workers)
+            co_await w->orchestrator().prepareSnapshot(entry.first);
+    }
+}
+
+int
+Cluster::route(const std::string &name)
+{
+    // Prefer a worker holding an idle warm instance; otherwise
+    // round-robin across the fleet.
+    for (size_t i = 0; i < workers.size(); ++i) {
+        if (workers[i]->orchestrator().idleInstanceCount(name) > 0)
+            return static_cast<int>(i);
+    }
+    rrCursor = (rrCursor + 1) % static_cast<int>(workers.size());
+    return rrCursor;
+}
+
+sim::Task<Duration>
+Cluster::invoke(const std::string &name)
+{
+    auto it = deployments.find(name);
+    if (it == deployments.end())
+        fatal("function %s is not deployed", name.c_str());
+    Deployment &dep = it->second;
+
+    Time t0 = sim.now();
+    // Front-end + fabric hop to the worker.
+    net::RpcParams rpc;
+    co_await sim.delay(rpc.clusterHop);
+
+    // Queue-proxy admission: bound in-flight invocations, FIFO.
+    if (dep.concurrency) {
+        Time q0 = sim.now();
+        co_await dep.concurrency->acquire();
+        dep.stats.queueDelayMs.add(toMs(sim.now() - q0));
+    }
+
+    int widx = route(name);
+    core::InvokeOptions opts;
+    opts.keepWarm = true;
+    auto bd = co_await workers[static_cast<size_t>(widx)]
+                  ->orchestrator()
+                  .invoke(name, cfg.coldStartMode, opts);
+
+    if (dep.concurrency)
+        dep.concurrency->release();
+
+    co_await sim.delay(rpc.clusterHop); // response hop
+    Duration e2e = sim.now() - t0;
+
+    dep.lastUsed[static_cast<size_t>(widx)] = sim.now();
+    dep.stats.e2eLatencyMs.add(toMs(e2e));
+    if (bd.cold)
+        ++dep.stats.coldStarts;
+    else
+        ++dep.stats.warmHits;
+    co_return e2e;
+}
+
+std::int64_t
+Cluster::instanceCount(const std::string &name) const
+{
+    std::int64_t total = 0;
+    for (const auto &w : workers)
+        total += w->orchestrator().instanceCount(name);
+    return total;
+}
+
+Bytes
+Cluster::residentBytes() const
+{
+    Bytes total = 0;
+    for (const auto &w : workers)
+        total += w->orchestrator().totalResidentBytes();
+    return total;
+}
+
+const FunctionClusterStats &
+Cluster::stats(const std::string &name) const
+{
+    auto it = deployments.find(name);
+    if (it == deployments.end())
+        fatal("function %s is not deployed", name.c_str());
+    return it->second.stats;
+}
+
+void
+Cluster::resetStats()
+{
+    for (auto &entry : deployments)
+        entry.second.stats = FunctionClusterStats{};
+}
+
+sim::Task<void>
+Cluster::janitor()
+{
+    while (!autoscalerStopping) {
+        co_await sim.delay(cfg.scalePeriod);
+        for (auto &entry : deployments) {
+            Deployment &dep = entry.second;
+            for (size_t i = 0; i < workers.size(); ++i) {
+                auto &orch = workers[i]->orchestrator();
+                if (orch.idleInstanceCount(entry.first) == 0)
+                    continue;
+                if (sim.now() - dep.lastUsed[i] >= cfg.keepAlive) {
+                    // Scale to zero on this worker: idle instances
+                    // have outlived the keep-alive window.
+                    co_await orch.stopAllInstances(entry.first);
+                    ++dep.stats.scaleDowns;
+                }
+            }
+        }
+    }
+    autoscalerRunning = false;
+}
+
+void
+Cluster::startAutoscaler()
+{
+    if (autoscalerRunning)
+        return;
+    autoscalerRunning = true;
+    autoscalerStopping = false;
+    sim.spawn(janitor());
+}
+
+} // namespace vhive::cluster

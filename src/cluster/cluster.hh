@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The vHive cluster layer (Sec. 3): a front-end/load-balancer (Istio
+ * role) routing invocations to workers, and a Knative-style autoscaler
+ * that keeps instances warm for a keep-alive window and scales to zero
+ * afterwards — the policy that makes cold starts frequent in
+ * production (Sec. 2.1: providers deallocate after 8-20 minutes of
+ * inactivity).
+ */
+
+#ifndef VHIVE_CLUSTER_CLUSTER_HH
+#define VHIVE_CLUSTER_CLUSTER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace vhive::cluster {
+
+/** Cluster-level configuration. */
+struct ClusterConfig
+{
+    /** Number of worker hosts. */
+    int workers = 1;
+
+    /** Configuration applied to every worker. */
+    core::WorkerConfig worker{};
+
+    /**
+     * Idle-instance lifetime before deallocation (Sec. 2.1: providers
+     * use 8-20 minutes; default 10).
+     */
+    Duration keepAlive = sec(600);
+
+    /** How the workers start cold instances. */
+    core::ColdStartMode coldStartMode = core::ColdStartMode::Reap;
+
+    /** Autoscaler reconciliation period. */
+    Duration scalePeriod = sec(2);
+
+    /**
+     * Knative queue-proxy behaviour: at most this many in-flight
+     * invocations per function cluster-wide; excess requests queue
+     * FIFO instead of scaling out. 0 = unlimited (AWS MicroManager
+     * style eager scale-out).
+     */
+    int maxConcurrencyPerFunction = 0;
+};
+
+/** Per-function cluster-level statistics. */
+struct FunctionClusterStats
+{
+    Samples e2eLatencyMs;   ///< end-to-end latency samples (ms)
+    Samples queueDelayMs;   ///< time spent waiting in the queue-proxy
+    std::int64_t coldStarts = 0;
+    std::int64_t warmHits = 0;
+    std::int64_t scaleDowns = 0;
+};
+
+/**
+ * A cluster of workers behind a front-end. Functions are deployed
+ * cluster-wide; invocations enter via invoke() and are routed to the
+ * best worker (warm instance first, then least-loaded).
+ */
+class Cluster
+{
+  public:
+    Cluster(sim::Simulation &sim, ClusterConfig config);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** Deploy a function on every worker. */
+    void deploy(const func::FunctionProfile &profile);
+
+    /** Build snapshots for all deployed functions on all workers. */
+    sim::Task<void> prepareAllSnapshots();
+
+    /**
+     * Start the autoscaler's keep-alive janitor (detached task). Call
+     * once before driving traffic with scale-to-zero behaviour.
+     */
+    void startAutoscaler();
+
+    /**
+     * Ask the janitor to exit at its next tick. Without this the
+     * janitor keeps the event queue non-empty and Simulation::run()
+     * never returns; experiments must stop it (or use runUntil).
+     */
+    void stopAutoscaler() { autoscalerStopping = true; }
+
+    /**
+     * Front-end entry point: route one invocation and return its
+     * end-to-end latency (including cluster fabric hops).
+     */
+    sim::Task<Duration> invoke(const std::string &name);
+
+    /** Total live instances of @p name across workers. */
+    std::int64_t instanceCount(const std::string &name) const;
+
+    /** Total resident instance memory across the fleet (Sec. 4.3). */
+    Bytes residentBytes() const;
+
+    /** Cluster-level stats for @p name. */
+    const FunctionClusterStats &stats(const std::string &name) const;
+
+    /** Reset all per-function statistics (e.g. after warm-up). */
+    void resetStats();
+
+    /** Access a worker (for experiment-specific drilling). */
+    core::Worker &worker(int idx) { return *workers[static_cast<size_t>(idx)]; }
+
+    int workerCount() const
+    {
+        return static_cast<int>(workers.size());
+    }
+
+    const ClusterConfig &config() const { return cfg; }
+
+  private:
+    struct Deployment
+    {
+        func::FunctionProfile profile;
+        FunctionClusterStats stats;
+        /** Last time each worker served this function. */
+        std::vector<Time> lastUsed;
+        /** In-flight limiter (queue-proxy); null when unlimited. */
+        std::unique_ptr<sim::Semaphore> concurrency;
+    };
+
+    /** Pick the worker for the next invocation of @p dep. */
+    int route(const std::string &name);
+
+    /** Keep-alive janitor loop. */
+    sim::Task<void> janitor();
+
+    sim::Simulation &sim;
+    ClusterConfig cfg;
+    std::vector<std::unique_ptr<core::Worker>> workers;
+    std::map<std::string, Deployment> deployments;
+    int rrCursor = 0;
+    bool autoscalerRunning = false;
+    bool autoscalerStopping = false;
+};
+
+} // namespace vhive::cluster
+
+#endif // VHIVE_CLUSTER_CLUSTER_HH

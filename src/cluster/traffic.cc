@@ -1,0 +1,80 @@
+#include "cluster/traffic.hh"
+
+#include "util/logging.hh"
+
+namespace vhive::cluster {
+
+PoissonTraffic::PoissonTraffic(sim::Simulation &sim, Cluster &cluster,
+                               std::string function,
+                               Duration mean_interarrival,
+                               std::int64_t count, std::uint64_t seed)
+    : sim(sim), cluster(cluster), function(std::move(function)),
+      meanInterarrival(mean_interarrival), count(count),
+      rng(seed, "poisson/" + this->function)
+{
+    VHIVE_ASSERT(count >= 0);
+    VHIVE_ASSERT(mean_interarrival > 0);
+}
+
+sim::Task<void>
+PoissonTraffic::fireOne(sim::Latch *done)
+{
+    (void)co_await cluster.invoke(function);
+    done->arrive();
+}
+
+sim::Task<void>
+PoissonTraffic::run()
+{
+    sim::Latch done(sim, count);
+    for (std::int64_t i = 0; i < count; ++i) {
+        co_await sim.delay(static_cast<Duration>(rng.exponential(
+            static_cast<double>(meanInterarrival))));
+        sim.spawn(fireOne(&done));
+    }
+    co_await done.wait();
+}
+
+ClosedLoopTraffic::ClosedLoopTraffic(sim::Simulation &sim,
+                                     Cluster &cluster,
+                                     std::string function, int clients,
+                                     Duration think_time,
+                                     std::uint64_t seed)
+    : sim(sim), cluster(cluster), function(std::move(function)),
+      clients(clients), thinkTime(think_time),
+      rng(seed, "closed/" + this->function)
+{
+    VHIVE_ASSERT(clients >= 1);
+}
+
+sim::Task<void>
+ClosedLoopTraffic::client(int idx)
+{
+    (void)idx;
+    while (!stopping) {
+        (void)co_await cluster.invoke(function);
+        ++_completed;
+        co_await sim.delay(thinkTime);
+    }
+    drain->arrive();
+}
+
+void
+ClosedLoopTraffic::start()
+{
+    VHIVE_ASSERT(!drain); // start() may only be called once
+    drain = std::make_unique<sim::Latch>(
+        sim, static_cast<std::int64_t>(clients));
+    for (int i = 0; i < clients; ++i)
+        sim.spawn(client(i));
+}
+
+sim::Task<void>
+ClosedLoopTraffic::stopAndDrain()
+{
+    VHIVE_ASSERT(drain); // must have been started
+    stopping = true;
+    co_await drain->wait();
+}
+
+} // namespace vhive::cluster

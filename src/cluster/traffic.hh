@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Invocation traffic generators. Production serverless arrivals are
+ * sporadic (Sec. 2.1: 90% of functions invoked less than once per
+ * minute), which the Poisson generator models; the closed-loop
+ * generator drives steady background load (Sec. 6.3's 20 warm
+ * functions experiment).
+ */
+
+#ifndef VHIVE_CLUSTER_TRAFFIC_HH
+#define VHIVE_CLUSTER_TRAFFIC_HH
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace vhive::cluster {
+
+/**
+ * Open-loop Poisson arrivals: invocations fire at exponential
+ * inter-arrival times regardless of completion of earlier ones.
+ */
+class PoissonTraffic
+{
+  public:
+    /**
+     * @param mean_interarrival Mean gap between invocation arrivals.
+     * @param count             Total invocations to issue.
+     */
+    PoissonTraffic(sim::Simulation &sim, Cluster &cluster,
+                   std::string function, Duration mean_interarrival,
+                   std::int64_t count, std::uint64_t seed);
+
+    /** Drive the load; returns when all invocations completed. */
+    sim::Task<void> run();
+
+  private:
+    sim::Task<void> fireOne(sim::Latch *done);
+
+    sim::Simulation &sim;
+    Cluster &cluster;
+    std::string function;
+    Duration meanInterarrival;
+    std::int64_t count;
+    Rng rng;
+};
+
+/**
+ * Closed-loop steady load: a fixed number of clients, each invoking
+ * again after the previous response plus a think time. Keeps the
+ * function's instances warm.
+ */
+class ClosedLoopTraffic
+{
+  public:
+    ClosedLoopTraffic(sim::Simulation &sim, Cluster &cluster,
+                      std::string function, int clients,
+                      Duration think_time, std::uint64_t seed);
+
+    /** Start the clients as detached tasks; they run until stop(). */
+    void start();
+
+    /**
+     * Ask the clients to finish their current request and exit. The
+     * clients still reference this object until they drain: callers
+     * MUST keep it alive until stopAndDrain() completes (or the
+     * simulation ends).
+     */
+    void stop() { stopping = true; }
+
+    /** Stop and wait until every client has exited. */
+    sim::Task<void> stopAndDrain();
+
+    /** Completed invocations across all clients. */
+    std::int64_t completed() const { return _completed; }
+
+  private:
+    sim::Task<void> client(int idx);
+
+    sim::Simulation &sim;
+    Cluster &cluster;
+    std::string function;
+    int clients;
+    Duration thinkTime;
+    Rng rng;
+    bool stopping = false;
+    std::int64_t _completed = 0;
+    std::unique_ptr<sim::Latch> drain;
+};
+
+} // namespace vhive::cluster
+
+#endif // VHIVE_CLUSTER_TRAFFIC_HH

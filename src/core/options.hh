@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cold-start mode selection and REAP tuning knobs, plus the latency
+ * breakdown structure the experiments report (Figs. 2, 7, 8).
+ */
+
+#ifndef VHIVE_CORE_OPTIONS_HH
+#define VHIVE_CORE_OPTIONS_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace vhive::core {
+
+/**
+ * How the orchestrator starts a function with no warm instance
+ * (Sec. 3.2 "several modes for cold function invocations" and the
+ * Fig. 7 design walk).
+ */
+enum class ColdStartMode
+{
+    /** Boot a new VM from the root filesystem (no snapshot). */
+    BootFromScratch,
+
+    /** Vanilla Firecracker snapshots: lazy kernel paging (Sec. 2.3). */
+    VanillaSnapshot,
+
+    /**
+     * Fig. 7 design point 2: use the trace file to fetch working-set
+     * pages with parallel page-sized reads.
+     */
+    ParallelPageFaults,
+
+    /**
+     * Fig. 7 design point 3: fetch the compact WS file with one
+     * buffered read (through the page cache).
+     */
+    WsFileCached,
+
+    /** Full REAP: single O_DIRECT WS-file read + eager install. */
+    Reap,
+};
+
+/** Human-readable mode name. */
+const char *coldStartModeName(ColdStartMode mode);
+
+/** REAP mechanism knobs (ablation points; defaults match the paper). */
+struct ReapOptions
+{
+    /** Fetch the WS file with O_DIRECT (Sec. 5.2.3). */
+    bool bypassPageCache = true;
+
+    /** Pages installed per UFFDIO_COPY call during eager install. */
+    std::int64_t installBatchPages = 64;
+
+    /**
+     * Issue the WS-file fetch concurrently with VMM-state restoration
+     * (off by default: the paper's Fig. 7 segments are additive).
+     */
+    bool overlapFetchWithVmmLoad = false;
+
+    /** Worker goroutines for the ParallelPageFaults design point. */
+    int parallelPfWorkers = 16;
+
+    /**
+     * Sec. 7.2 adaptive policy: when the fraction of residual faults
+     * exceeds the threshold, re-record the working set on the next
+     * cold invocation.
+     */
+    bool adaptiveRerecord = false;
+    double rerecordThreshold = 0.5;
+
+    /**
+     * Sec. 7.3 mitigation: re-randomize the guest memory placement
+     * while installing the working set, defeating cross-clone ASLR
+     * leakage. Costs extra per-page guest page-table rewrites during
+     * the eager install.
+     */
+    bool rerandomizeLayout = false;
+
+    /** Per-page cost of the layout re-randomization rewrite. */
+    Duration rerandomizePerPage = static_cast<Duration>(900);
+};
+
+/** Per-invocation latency decomposition at the orchestrator level. */
+struct LatencyBreakdown
+{
+    Duration loadVmm = 0;     ///< spawn + VMM/device state restore
+    Duration connRestore = 0; ///< gRPC session + guest infra faults
+    Duration processing = 0;  ///< request + function execution
+    Duration fetchWs = 0;     ///< prefetch read (REAP/WsFile/ParPF)
+    Duration installWs = 0;   ///< eager UFFDIO_COPY install
+    Duration total = 0;       ///< end-to-end at the orchestrator
+
+    bool cold = false;        ///< true if a new instance was started
+    bool recordPhase = false; ///< true if this invocation recorded
+
+    std::int64_t majorFaults = 0;    ///< faults taken by the instance
+    std::int64_t residualFaults = 0; ///< monitor-served faults after
+                                     ///< eager install (REAP modes)
+    std::int64_t prefetchedPages = 0;
+    std::int64_t wastedPrefetch = 0; ///< prefetched but never touched
+};
+
+} // namespace vhive::core
+
+#endif // VHIVE_CORE_OPTIONS_HH

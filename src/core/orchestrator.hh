@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The vHive-CRI orchestrator (Sec. 3.2, 5.2): controls the lifecycle
+ * of all function instances on one worker, acts as the data-plane
+ * router holding persistent gRPC connections to instances (the AWS
+ * MicroManager role, Sec. 4.1), maintains snapshot/working-set files,
+ * and implements REAP's record and prefetch phases with a dedicated
+ * monitor task per instance.
+ */
+
+#ifndef VHIVE_CORE_ORCHESTRATOR_HH
+#define VHIVE_CORE_ORCHESTRATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hh"
+#include "core/options.hh"
+#include "core/ws_file.hh"
+#include "func/profile.hh"
+#include "func/trace_gen.hh"
+#include "host/cpu_pool.hh"
+#include "mem/uffd.hh"
+#include "net/object_store.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "storage/file_store.hh"
+#include "vmm/microvm.hh"
+#include "vmm/snapshot.hh"
+
+namespace vhive::core {
+
+/** Per-function aggregate statistics. */
+struct FunctionStats
+{
+    std::int64_t coldInvocations = 0;
+    std::int64_t warmInvocations = 0;
+    std::int64_t recordPhases = 0;
+    std::int64_t rerecordsTriggered = 0;
+    std::int64_t bootInvocations = 0;
+    std::int64_t layoutRerandomizations = 0;
+};
+
+/** Per-invocation options. */
+struct InvokeOptions
+{
+    /** Keep the instance warm after the invocation. */
+    bool keepWarm = false;
+
+    /** Start a fresh instance even if a warm one exists. */
+    bool forceCold = false;
+
+    /**
+     * Input selector; -1 draws the next input in sequence.
+     * Distinct ids model distinct inputs (Sec. 4.4).
+     */
+    std::int64_t inputId = -1;
+
+    /**
+     * Flush the host page cache first — the paper's cold-start
+     * methodology (Sec. 4.1) simulating long inter-invocation gaps.
+     */
+    bool flushPageCache = false;
+};
+
+/**
+ * Orchestrates function instances on a single worker host.
+ */
+class Orchestrator
+{
+  public:
+    Orchestrator(sim::Simulation &sim, storage::FileStore &fs,
+                 host::CpuPool &host_cpus, host::CpuPool &orch_cpus,
+                 net::ObjectStore &object_store,
+                 const func::TraceGenerator &gen,
+                 vmm::VmmParams vmm_params = vmm::VmmParams{},
+                 ReapOptions reap = ReapOptions{},
+                 mem::UffdParams uffd_params = mem::UffdParams{});
+
+    /**
+     * Bound the worker's instance memory (Sec. 4.3: colocation makes
+     * memory the scarce resource). Before a cold start exceeds the
+     * budget, the least-recently-used idle instance is deallocated;
+     * 0 disables the bound (default).
+     */
+    void setMemoryCapacity(Bytes capacity) { memoryCapacity = capacity; }
+    Bytes getMemoryCapacity() const { return memoryCapacity; }
+
+    /** Idle instances evicted to satisfy the memory bound. */
+    std::int64_t capacityEvictions() const { return _capacityEvictions; }
+
+    Orchestrator(const Orchestrator &) = delete;
+    Orchestrator &operator=(const Orchestrator &) = delete;
+
+    /** Register a function for deployment. */
+    void registerFunction(const func::FunctionProfile &profile);
+
+    /** True if @p name is registered. */
+    bool hasFunction(const std::string &name) const;
+
+    /**
+     * Boot a VM, let it fully initialize, and capture its snapshot
+     * (done once per function, off the invocation path).
+     */
+    sim::Task<void> prepareSnapshot(const std::string &name);
+
+    /**
+     * Serve one invocation of @p name. Routes to an idle warm instance
+     * when possible, otherwise performs a cold start in @p mode. When
+     * a REAP-family mode lacks a recorded working set, this invocation
+     * becomes the record phase (Sec. 5.2.1).
+     */
+    sim::Task<LatencyBreakdown> invoke(const std::string &name,
+                                       ColdStartMode mode,
+                                       InvokeOptions opts = InvokeOptions());
+
+    /** Gracefully stop and reclaim all instances of @p name. */
+    sim::Task<void> stopAllInstances(const std::string &name);
+
+    /** Number of live (warm) instances of @p name. */
+    std::int64_t instanceCount(const std::string &name) const;
+
+    /** Number of live idle instances of @p name. */
+    std::int64_t idleInstanceCount(const std::string &name) const;
+
+    /** Resident footprints of all live instances of @p name. */
+    std::vector<Bytes>
+    instanceFootprints(const std::string &name) const;
+
+    /** Whether a working-set record exists for @p name. */
+    bool hasRecord(const std::string &name) const;
+
+    /** Recorded working set (must exist). */
+    const WorkingSetRecord &record(const std::string &name) const;
+
+    /** Invalidate the record so the next cold start re-records. */
+    void invalidateRecord(const std::string &name);
+
+    /** Aggregate stats for @p name. */
+    const FunctionStats &stats(const std::string &name) const;
+
+    /** Drop the host page cache (cold-invocation methodology). */
+    void flushHostCaches();
+
+    /**
+     * Sum of resident footprints of all live instances across all
+     * functions — the worker's memory commitment (Sec. 4.3).
+     */
+    Bytes totalResidentBytes() const;
+
+    const ReapOptions &reapOptions() const { return reap; }
+    ReapOptions &reapOptions() { return reap; }
+
+  private:
+    /** One live instance: VM + (optional) uffd/monitor pair. */
+    struct Instance
+    {
+        std::unique_ptr<vmm::MicroVm> vm;
+        std::unique_ptr<mem::UserFaultFd> uffd;
+        std::unique_ptr<Monitor> monitor;
+        bool busy = false;
+        std::int64_t residualBaseline = 0;
+        std::int64_t lastInput = -1;
+        Time lastUsedAt = 0;
+    };
+
+    struct FunctionState
+    {
+        func::FunctionProfile profile;
+        vmm::SnapshotFiles snapshot;
+        storage::FileId rootfs = storage::kInvalidFile;
+        bool hasSnapshot = false;
+        storage::FileId wsFile = storage::kInvalidFile;
+        storage::FileId traceFile = storage::kInvalidFile;
+        WorkingSetRecord record;
+        bool recorded = false;
+        std::int64_t nextInput = 0;
+        std::vector<std::unique_ptr<Instance>> instances;
+        FunctionStats stats;
+    };
+
+    FunctionState &state(const std::string &name);
+    const FunctionState &state(const std::string &name) const;
+
+    std::int64_t pickInput(FunctionState &st,
+                           const InvokeOptions &opts);
+
+    sim::Task<LatencyBreakdown>
+    invokeWarm(FunctionState &st, Instance &inst,
+               const func::InvocationTrace &trace);
+
+    sim::Task<LatencyBreakdown>
+    coldBoot(FunctionState &st, Instance &inst,
+             const func::InvocationTrace &trace,
+             const InvokeOptions &opts);
+
+    sim::Task<LatencyBreakdown>
+    coldVanilla(FunctionState &st, Instance &inst,
+                const func::InvocationTrace &trace,
+                const InvokeOptions &opts);
+
+    sim::Task<LatencyBreakdown>
+    coldRecord(FunctionState &st, Instance &inst,
+               const func::InvocationTrace &trace,
+               const InvokeOptions &opts);
+
+    sim::Task<LatencyBreakdown>
+    coldPrefetch(FunctionState &st, Instance &inst, ColdStartMode mode,
+                 const func::InvocationTrace &trace,
+                 const InvokeOptions &opts);
+
+    /** Fetch the WS file (mode-dependent path); *out = fetch time. */
+    sim::Task<void> fetchWorkingSet(FunctionState &st,
+                                    ColdStartMode mode, Duration *out);
+
+    /** Eagerly install the recorded set into @p inst's guest memory. */
+    sim::Task<void> installWorkingSet(FunctionState &st,
+                                      Instance &inst);
+
+    /** ParallelPageFaults design point: worker-based page fetch. */
+    sim::Task<void> parallelFetchInstall(FunctionState &st,
+                                         Instance &inst);
+
+    /** One ParallelPageFaults worker: strided slice of the record. */
+    sim::Task<void> parallelFetchWorker(FunctionState &st,
+                                        Instance &inst, size_t begin,
+                                        size_t stride,
+                                        sim::Latch *done);
+
+    /** Persist trace + WS files after a record phase. */
+    sim::Task<void> finalizeRecord(FunctionState &st,
+                                   const WorkingSetRecord &rec);
+
+    /** Retire one instance (stop monitor, destroy VM). */
+    sim::Task<void> stopInstance(FunctionState &st, size_t index);
+
+    /** Retire the instance identified by pointer. */
+    sim::Task<void> stopInstanceByPtr(FunctionState &st,
+                                      Instance *inst);
+
+    /** Allocate a fresh Instance slot for @p st. */
+    Instance &createInstance(FunctionState &st);
+
+    /** Create the function's rootfs image file if absent. */
+    void ensureRootfs(FunctionState &st);
+
+    /**
+     * Evict LRU idle instances until @p needed more bytes fit under
+     * the capacity bound (best effort; busy instances are never
+     * evicted).
+     */
+    sim::Task<void> makeRoom(Bytes needed);
+
+    sim::Simulation &sim;
+    storage::FileStore &fs;
+    host::CpuPool &hostCpus;
+    host::CpuPool &orchCpus;
+    net::ObjectStore &objectStore;
+    const func::TraceGenerator &gen;
+    vmm::VmmParams vmmParams;
+    ReapOptions reap;
+    mem::UffdParams uffdParams;
+    std::map<std::string, FunctionState> functions;
+    Bytes memoryCapacity = 0;
+    std::int64_t _capacityEvictions = 0;
+
+    /** Control-plane CPU cost of handling one cold start. */
+    static constexpr Duration kControlPlaneCost = msec(2);
+};
+
+} // namespace vhive::core
+
+#endif // VHIVE_CORE_ORCHESTRATOR_HH

@@ -1,0 +1,32 @@
+#include "core/worker.hh"
+
+namespace vhive::core {
+
+namespace {
+
+/** Seek-heavy devices get kernel fault-path readahead (Sec. 6.3). */
+storage::IoPathParams
+ioForDisk(const WorkerConfig &cfg)
+{
+    storage::IoPathParams io = cfg.io;
+    if (cfg.disk.seekLatency > 0 && io.faultReadahead == 0)
+        io.faultReadahead = 48 * kKiB;
+    return io;
+}
+
+} // namespace
+
+Worker::Worker(sim::Simulation &sim, WorkerConfig config)
+    : sim(sim), cfg(config), _disk(sim, cfg.disk),
+      fs(sim, _disk, ioForDisk(cfg)),
+      _hostCpus(sim, cfg.hostCores),
+      _orchCpus(sim, cfg.orchestratorThreads), s3(sim, cfg.objectStore),
+      gen(cfg.seed),
+      orch(sim, fs, _hostCpus, _orchCpus, s3, gen, cfg.vmm, cfg.reap,
+           cfg.uffd)
+{
+    if (cfg.instanceMemoryCapacity > 0)
+        orch.setMemoryCapacity(cfg.instanceMemoryCapacity);
+}
+
+} // namespace vhive::core

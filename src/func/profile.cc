@@ -1,0 +1,101 @@
+#include "func/profile.hh"
+
+#include "util/logging.hh"
+
+namespace vhive::func {
+
+namespace {
+
+FunctionProfile
+make(const std::string &name, const std::string &desc, double warm_ms,
+     double boot_mb, double ws_mb, double unique_frac, double contig,
+     double input_mb, double init_ms)
+{
+    FunctionProfile p;
+    p.name = name;
+    p.description = desc;
+    p.warmExec = msec(warm_ms);
+    p.bootFootprint = static_cast<Bytes>(boot_mb * kMiB);
+    p.workingSet = static_cast<Bytes>(ws_mb * kMiB);
+    p.uniqueFrac = unique_frac;
+    p.contiguityMean = contig;
+    p.inputSize = static_cast<Bytes>(input_mb * kMiB);
+    p.initTime = msec(init_ms);
+    return p;
+}
+
+std::vector<FunctionProfile>
+build()
+{
+    // Calibration notes (paper targets in parentheses):
+    //  - warm_ms from Fig. 2 warm bars;
+    //  - boot_mb spans Fig. 4's 148-256 MB range;
+    //  - ws_mb spans Fig. 4's 8-99 MB (avg ~24-30 MB);
+    //  - unique_frac from Fig. 5 (>=97% same for most functions,
+    //    >=76% for the large-input ones);
+    //  - contiguity from Fig. 3 (2-3 pages; lr_training ~5).
+    std::vector<FunctionProfile> v;
+    v.push_back(make("helloworld", "Minimal function",
+                     1, 148, 8, 0.015, 3.0, 0, 50));
+    v.push_back(make("chameleon", "HTML table rendering",
+                     29, 160, 14, 0.020, 2.5, 0, 300));
+    v.push_back(make("pyaes", "Text encryption with an AES cipher",
+                     3, 152, 10, 0.020, 2.3, 0, 150));
+    v.push_back(make("image_rotate", "JPEG image rotation",
+                     37, 170, 22, 0.180, 2.6, 3, 400));
+    v.push_back(make("json_serdes", "JSON (de)serialization",
+                     27, 165, 20, 0.120, 2.4, 2, 250));
+    v.push_back(make("lr_serving", "Review analysis, serving (Scikit)",
+                     2, 180, 20, 0.020, 2.4, 0, 900));
+    v.push_back(make("cnn_serving", "Image classification (TensorFlow)",
+                     192, 256, 41, 0.030, 2.8, 0, 5000));
+    v.push_back(make("rnn_serving", "Name generation (PyTorch)",
+                     25, 235, 18, 0.020, 2.5, 0, 2500));
+    v.push_back(make("lr_training", "Review analysis, training (Scikit)",
+                     4991, 210, 99, 0.350, 5.0, 10, 900));
+    v.push_back(make("video_processing", "Gray-scale effect (OpenCV)",
+                     1476, 190, 38, 0.120, 2.5, 5, 700));
+
+    // video_processing: inputs of different aspect ratios change the
+    // allocator's layout, shifting a chunk of the "stable" set
+    // between record and prefetch (Sec. 6.3). Together with the
+    // unique pool this reproduces both Fig. 5 (>=76%% reuse) and the
+    // near-1x REAP speedup of Fig. 8.
+    v.back().stableDriftFrac = 0.15;
+    v.back().uniqueContiguityMean = 2.5;
+
+    // lr_training allocates large contiguous training buffers.
+    v[8].uniqueContiguityMean = 5.0;
+
+    // video_processing ships a Debian (not Alpine) image due to the
+    // OpenCV installation (Table 1 footnote): a much larger rootfs.
+    v[9].rootfsImage = 420 * kMiB;
+    v[9].rootfsBootRead = 96 * kMiB;
+
+    // Framework-heavy functions read more of their image on init.
+    v[6].rootfsImage = 360 * kMiB;  // cnn_serving (TensorFlow)
+    v[6].rootfsBootRead = 120 * kMiB;
+    v[7].rootfsImage = 300 * kMiB;  // rnn_serving (PyTorch)
+    v[7].rootfsBootRead = 90 * kMiB;
+    return v;
+}
+
+} // namespace
+
+const std::vector<FunctionProfile> &
+functionBench()
+{
+    static const std::vector<FunctionProfile> profiles = build();
+    return profiles;
+}
+
+const FunctionProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : functionBench())
+        if (p.name == name)
+            return p;
+    fatal("unknown function profile: %s", name.c_str());
+}
+
+} // namespace vhive::func

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Calibrated models of the FunctionBench workloads (Table 1). Each
+ * profile captures the handful of measurable properties the paper's
+ * characterization reports per function: warm execution time, cold-boot
+ * memory footprint (Fig. 4, blue), snapshot-restore working set
+ * (Fig. 4, red), page-run contiguity (Fig. 3), the fraction of pages
+ * unique to an invocation (Fig. 5), and input size (functions with
+ * large inputs fetch them from an S3-like store, Sec. 6.1).
+ */
+
+#ifndef VHIVE_FUNC_PROFILE_HH
+#define VHIVE_FUNC_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace vhive::func {
+
+/** Static model of one serverless function. */
+struct FunctionProfile
+{
+    std::string name;
+    std::string description;
+
+    /** Warm (memory-resident) invocation processing time. */
+    Duration warmExec = 0;
+
+    /** Guest memory size of the MicroVM (Sec. 6.1: 256 MB VMs). */
+    Bytes vmMemory = 256 * kMiB;
+
+    /**
+     * Memory footprint after cold boot plus one invocation (Fig. 4,
+     * 148-256 MB): guest OS boot, agents, runtime init and the
+     * invocation itself.
+     */
+    Bytes bootFootprint = 0;
+
+    /**
+     * Pages accessed while serving one invocation from a restored
+     * snapshot (Fig. 4, 8-99 MB) — the REAP working set, including
+     * guest infra pages.
+     */
+    Bytes workingSet = 0;
+
+    /**
+     * Subset of the stable working set touched during gRPC connection
+     * restoration: guest kernel network stack + agents (~up to 8 MB,
+     * Sec. 4.4).
+     */
+    Bytes infraSet = 5 * kMiB;
+
+    /** Fraction of accessed pages unique to an invocation (Fig. 5). */
+    double uniqueFrac = 0.02;
+
+    /** Mean contiguous-run length of stable accesses (Fig. 3). */
+    double contiguityMean = 2.5;
+
+    /** Mean contiguous-run length of unique (allocation) accesses. */
+    double uniqueContiguityMean = 3.5;
+
+    /**
+     * Fraction of the stable set that shifts when the input shape
+     * differs (the video_processing aspect-ratio effect, Sec. 6.3).
+     */
+    double stableDriftFrac = 0.0;
+
+    /** Input payload fetched from the object store (0 = none). */
+    Bytes inputSize = 0;
+
+    /**
+     * Size of the function's OCI (container) image, mounted as the
+     * VM's root filesystem via device-mapper during boot (Sec. 6.1).
+     */
+    Bytes rootfsImage = 180 * kMiB;
+
+    /** Bytes of the rootfs actually read while booting and initing. */
+    Bytes rootfsBootRead = 48 * kMiB;
+
+    /** Guest boot time (kernel + agents) for boot-from-scratch. */
+    Duration bootTime = msec(900);
+
+    /** User-code initialization time (imports, model loading). */
+    Duration initTime = msec(100);
+
+    /** Derived: total pages accessed per invocation. */
+    std::int64_t wsPages() const { return pagesForBytes(workingSet); }
+
+    /** Derived: stable (recurring) pages per invocation. */
+    std::int64_t
+    stablePages() const
+    {
+        return static_cast<std::int64_t>(
+            static_cast<double>(wsPages()) * (1.0 - uniqueFrac));
+    }
+
+    /** Derived: per-invocation unique pages. */
+    std::int64_t uniquePages() const
+    {
+        return wsPages() - stablePages();
+    }
+
+    /** Derived: infra pages touched during connection restoration. */
+    std::int64_t infraPages() const { return pagesForBytes(infraSet); }
+};
+
+/**
+ * The ten functions evaluated in the paper: nine FunctionBench
+ * workloads plus helloworld (Table 1). Values are calibrated so the
+ * simulated Figs. 2-9 land in the paper's reported ranges; see
+ * DESIGN.md and EXPERIMENTS.md.
+ */
+const std::vector<FunctionProfile> &functionBench();
+
+/** Look up a profile by name; fatal() if absent. */
+const FunctionProfile &profileByName(const std::string &name);
+
+} // namespace vhive::func
+
+#endif // VHIVE_FUNC_PROFILE_HH

@@ -1,0 +1,155 @@
+#include "mem/guest_memory.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vhive::mem {
+
+GuestMemory::GuestMemory(sim::Simulation &sim, storage::FileStore &store,
+                         std::int64_t total_pages)
+    : sim(sim), store(store),
+      present(static_cast<size_t>(total_pages), false),
+      _totalPages(total_pages)
+{
+    VHIVE_ASSERT(total_pages > 0);
+}
+
+void
+GuestMemory::backAnonymous()
+{
+    _mode = BackingMode::Anonymous;
+    memoryFile = storage::kInvalidFile;
+    uffd = nullptr;
+}
+
+void
+GuestMemory::backLazyFile(storage::FileId memory_file)
+{
+    VHIVE_ASSERT(memory_file != storage::kInvalidFile);
+    VHIVE_ASSERT(store.fileSize(memory_file) >=
+                 bytesForPages(_totalPages));
+    _mode = BackingMode::LazyFile;
+    memoryFile = memory_file;
+    uffd = nullptr;
+    // Mapping a fresh region: nothing is present yet.
+    std::fill(present.begin(), present.end(), false);
+    _presentPages = 0;
+}
+
+void
+GuestMemory::backUffd(storage::FileId memory_file, UserFaultFd *fd)
+{
+    VHIVE_ASSERT(memory_file != storage::kInvalidFile);
+    VHIVE_ASSERT(fd != nullptr);
+    _mode = BackingMode::Uffd;
+    memoryFile = memory_file;
+    uffd = fd;
+    std::fill(present.begin(), present.end(), false);
+    _presentPages = 0;
+}
+
+bool
+GuestMemory::isPresent(std::int64_t page) const
+{
+    VHIVE_ASSERT(page >= 0 && page < _totalPages);
+    return present[static_cast<size_t>(page)];
+}
+
+void
+GuestMemory::installRange(std::int64_t page, std::int64_t n_pages)
+{
+    VHIVE_ASSERT(page >= 0 && page + n_pages <= _totalPages);
+    for (std::int64_t p = page; p < page + n_pages; ++p) {
+        if (!present[static_cast<size_t>(p)]) {
+            present[static_cast<size_t>(p)] = true;
+            ++_presentPages;
+            ++_stats.pagesInstalledByMonitor;
+        }
+    }
+}
+
+sim::Task<void>
+GuestMemory::touchRun(std::int64_t page, std::int64_t n_pages)
+{
+    VHIVE_ASSERT(page >= 0 && n_pages >= 1 &&
+                 page + n_pages <= _totalPages);
+    _stats.pagesTouched += n_pages;
+
+    // Walk the run, splitting into present and missing subranges.
+    std::int64_t p = page;
+    const std::int64_t end = page + n_pages;
+    while (p < end) {
+        if (present[static_cast<size_t>(p)]) {
+            std::int64_t q = p;
+            while (q < end && present[static_cast<size_t>(q)])
+                ++q;
+            _stats.minorFaults += q - p;
+            co_await sim.delay(kPresentTouch * (q - p));
+            p = q;
+        } else {
+            std::int64_t q = p;
+            while (q < end && !present[static_cast<size_t>(q)])
+                ++q;
+            std::int64_t missing = q - p;
+            ++_stats.majorFaults;
+            switch (_mode) {
+              case BackingMode::Anonymous:
+                co_await faultAnonymous(p, missing);
+                p = q;
+                break;
+              case BackingMode::LazyFile:
+                co_await faultLazyFile(p, missing);
+                p = q;
+                break;
+              case BackingMode::Uffd:
+                // The monitor may install fewer pages than the whole
+                // run; re-scan from p (at least one page is now
+                // present, so the loop makes progress).
+                co_await faultUffd(p, missing);
+                break;
+            }
+        }
+    }
+}
+
+sim::Task<void>
+GuestMemory::faultAnonymous(std::int64_t page, std::int64_t n)
+{
+    co_await sim.delay(kZeroFillPerPage * n);
+    for (std::int64_t p = page; p < page + n; ++p) {
+        present[static_cast<size_t>(p)] = true;
+    }
+    _presentPages += n;
+}
+
+sim::Task<void>
+GuestMemory::faultLazyFile(std::int64_t page, std::int64_t n)
+{
+    // Kernel mmap fault path + disk read of the missing run. The file
+    // offset equals the guest-physical offset (identity mapping of the
+    // snapshot memory file).
+    co_await store.faultRead(memoryFile, bytesForPages(page),
+                             bytesForPages(n));
+    for (std::int64_t p = page; p < page + n; ++p) {
+        if (!present[static_cast<size_t>(p)]) {
+            present[static_cast<size_t>(p)] = true;
+            ++_presentPages;
+        }
+    }
+}
+
+sim::Task<void>
+GuestMemory::faultUffd(std::int64_t page, std::int64_t n)
+{
+    VHIVE_ASSERT(uffd != nullptr);
+    // The monitor is responsible for installing the pages (and calls
+    // installRange); when raiseAndWait returns, the pages must be
+    // present.
+    co_await uffd->raiseAndWait(page, n);
+    if (!present[static_cast<size_t>(page)])
+        panic("uffd monitor woke faulting thread without installing "
+              "page %lld", static_cast<long long>(page));
+}
+
+} // namespace vhive::mem

@@ -1,0 +1,68 @@
+#include "mem/uffd.hh"
+
+#include "util/logging.hh"
+
+namespace vhive::mem {
+
+UserFaultFd::UserFaultFd(sim::Simulation &sim, UffdParams params)
+    : sim(sim), _params(params), events(sim)
+{
+}
+
+sim::Task<void>
+UserFaultFd::raiseAndWait(std::int64_t page, std::int64_t run_pages)
+{
+    VHIVE_ASSERT(run_pages >= 1);
+    ++_stats.faultsDelivered;
+    _stats.pagesRequested += run_pages;
+
+    // Kernel intercepts the fault and queues the event.
+    co_await sim.delay(_params.faultTrap);
+
+    FaultEvent ev;
+    ev.page = page;
+    ev.runPages = run_pages;
+    ev.done = std::make_shared<sim::Gate>(sim);
+    ev.raisedAt = sim.now();
+    auto done = ev.done;
+    events.send(std::move(ev));
+
+    // The faulting thread sleeps until the monitor wakes it.
+    co_await done->wait();
+    co_await sim.delay(_params.wakeTarget);
+}
+
+void
+UserFaultFd::sendShutdown()
+{
+    FaultEvent ev;
+    ev.page = -1;
+    ev.runPages = 1;
+    ev.raisedAt = sim.now();
+    events.send(std::move(ev));
+}
+
+sim::Task<FaultEvent>
+UserFaultFd::nextFault()
+{
+    FaultEvent ev = co_await events.recv();
+    co_await sim.delay(_params.monitorWake);
+    co_return ev;
+}
+
+sim::Task<void>
+UserFaultFd::copyCost(std::int64_t pages, std::int64_t batch)
+{
+    VHIVE_ASSERT(pages >= 0);
+    if (pages == 0)
+        co_return;
+    if (batch <= 0)
+        batch = pages;
+    std::int64_t calls = (pages + batch - 1) / batch;
+    _stats.copyCalls += calls;
+    _stats.pagesInstalled += pages;
+    co_await sim.delay(calls * _params.copySyscall +
+                       pages * _params.copyPerPage);
+}
+
+} // namespace vhive::mem

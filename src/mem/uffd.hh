@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Model of the Linux userfaultfd mechanism (Sec. 5.2): a guest memory
+ * region is registered with a user-fault file descriptor; first-touch
+ * faults are delivered as events to a userspace monitor, which resolves
+ * them (from any source) and installs pages via UFFDIO_COPY-style
+ * operations, then wakes the faulting thread.
+ */
+
+#ifndef VHIVE_MEM_UFFD_HH
+#define VHIVE_MEM_UFFD_HH
+
+#include <memory>
+
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::mem {
+
+class GuestMemory;
+
+/** One page-fault event delivered to the monitor. */
+struct FaultEvent
+{
+    /** First missing guest page of the faulting access. */
+    std::int64_t page = 0;
+
+    /**
+     * Number of contiguous missing pages in the faulting access run.
+     * The kernel reports a single address; run length stands in for the
+     * fault-around/readahead window the monitor may choose to serve.
+     */
+    std::int64_t runPages = 1;
+
+    /** Completion gate: opened by the monitor after installing pages. */
+    std::shared_ptr<sim::Gate> done;
+
+    /** When the fault was raised (for latency accounting). */
+    Time raisedAt = 0;
+};
+
+/** Cost constants for userfaultfd operations. */
+struct UffdParams
+{
+    /**
+     * Kernel fault interception + event queueing cost (paid by the
+     * faulting thread).
+     */
+    Duration faultTrap = usec(25);
+
+    /**
+     * Monitor wake-up: epoll return, fault-message read, and the Go
+     * runtime dispatching the per-instance monitor goroutine. This is
+     * the dominant record-phase overhead (Sec. 6.4).
+     */
+    Duration monitorWake = usec(160);
+
+    /** ioctl(UFFDIO_COPY/ZEROPAGE) fixed cost per call. */
+    Duration copySyscall = usec(8);
+
+    /** Per-page copy + page-table install cost inside UFFDIO_COPY. */
+    Duration copyPerPage = static_cast<Duration>(1200);
+
+    /** Waking the faulting vCPU thread. */
+    Duration wakeTarget = usec(15);
+};
+
+/** Statistics observable by tests and benchmarks. */
+struct UffdStats
+{
+    std::int64_t faultsDelivered = 0;
+    std::int64_t pagesRequested = 0;
+    std::int64_t copyCalls = 0;
+    std::int64_t pagesInstalled = 0;
+};
+
+/**
+ * The user-fault file descriptor: a channel of FaultEvents from a
+ * registered GuestMemory to a monitor task, plus cost accounting for
+ * the install path.
+ */
+class UserFaultFd
+{
+  public:
+    UserFaultFd(sim::Simulation &sim, UffdParams params = UffdParams{});
+
+    UserFaultFd(const UserFaultFd &) = delete;
+    UserFaultFd &operator=(const UserFaultFd &) = delete;
+
+    /**
+     * Raise a fault (called by GuestMemory) and wait until the monitor
+     * resolves it. Pays the trap cost on the faulting side.
+     */
+    sim::Task<void> raiseAndWait(std::int64_t page,
+                                 std::int64_t run_pages);
+
+    /**
+     * Monitor side: block for the next fault event. Pays the monitor
+     * wake-up cost.
+     */
+    sim::Task<FaultEvent> nextFault();
+
+    /** True if a fault event is already queued (non-blocking check). */
+    bool hasPending() const { return !events.empty(); }
+
+    /**
+     * Queue a shutdown sentinel (page = -1, no gate). Monitor loops
+     * exit when they receive it.
+     */
+    void sendShutdown();
+
+    /** True if @p ev is the shutdown sentinel. */
+    static bool isShutdown(const FaultEvent &ev) { return ev.page < 0; }
+
+    /**
+     * Monitor side: UFFDIO_COPY cost of installing @p pages pages in
+     * batches of @p batch (<=0 means one call for everything). The
+     * caller must separately mark pages present in the GuestMemory and
+     * open the fault's gate.
+     */
+    sim::Task<void> copyCost(std::int64_t pages, std::int64_t batch);
+
+    const UffdParams &params() const { return _params; }
+    const UffdStats &stats() const { return _stats; }
+    void resetStats() { _stats = UffdStats{}; }
+
+  private:
+    sim::Simulation &sim;
+    UffdParams _params;
+    UffdStats _stats;
+    sim::Channel<FaultEvent> events;
+};
+
+} // namespace vhive::mem
+
+#endif // VHIVE_MEM_UFFD_HH

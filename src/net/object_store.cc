@@ -1,0 +1,3 @@
+#include "net/object_store.hh"
+
+// ObjectStore is header-only today; this TU anchors the library.

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * S3-like object store model. Functions with large inputs (photos,
+ * JSON documents, training sets, videos) retrieve them from a MinIO
+ * server deployed on the same host (Sec. 6.1); the cost is a
+ * same-host HTTP transfer.
+ */
+
+#ifndef VHIVE_NET_OBJECT_STORE_HH
+#define VHIVE_NET_OBJECT_STORE_HH
+
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::net {
+
+/** Object-store transfer cost constants. */
+struct ObjectStoreParams
+{
+    /** Per-request fixed cost (HTTP + auth + lookup). */
+    Duration requestOverhead = msec(2);
+
+    /** Same-host loopback streaming rate. */
+    double bandwidth = 200e6; // bytes/sec
+};
+
+/** Statistics for the store. */
+struct ObjectStoreStats
+{
+    std::int64_t gets = 0;
+    Bytes bytesServed = 0;
+};
+
+/**
+ * A same-host object store (MinIO stand-in). Objects are identified by
+ * size only; contents are irrelevant to the latency model.
+ */
+class ObjectStore
+{
+  public:
+    ObjectStore(sim::Simulation &sim,
+                ObjectStoreParams params = ObjectStoreParams{})
+        : sim(sim), _params(params)
+    {
+    }
+
+    /** Fetch an object of @p bytes; completes when fully received. */
+    sim::Task<void>
+    get(Bytes bytes)
+    {
+        ++_stats.gets;
+        _stats.bytesServed += bytes;
+        Duration xfer = static_cast<Duration>(
+            static_cast<double>(bytes) / _params.bandwidth * 1e9);
+        co_await sim.delay(_params.requestOverhead + xfer);
+    }
+
+    const ObjectStoreStats &stats() const { return _stats; }
+
+  private:
+    sim::Simulation &sim;
+    ObjectStoreParams _params;
+    ObjectStoreStats _stats;
+};
+
+} // namespace vhive::net
+
+#endif // VHIVE_NET_OBJECT_STORE_HH

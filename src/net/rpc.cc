@@ -1,0 +1,3 @@
+#include "net/rpc.hh"
+
+// RpcConnection is header-only today; this TU anchors the library.

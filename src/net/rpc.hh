@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal model of the HTTP/gRPC fabric connecting the orchestrator's
+ * data plane to the gRPC server inside each MicroVM (Sec. 3.2, 4.1).
+ * Connection restoration after a snapshot load re-establishes the
+ * persistent session; its guest-side page accesses are modeled by the
+ * function trace's ConnectionRestore phase, while the wire/handshake
+ * costs live here.
+ */
+
+#ifndef VHIVE_NET_RPC_HH
+#define VHIVE_NET_RPC_HH
+
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::net {
+
+/** Wire-level cost constants for the data plane. */
+struct RpcParams
+{
+    /** TCP + gRPC session (re)establishment, excluding guest faults. */
+    Duration connectionHandshake = msec(4);
+
+    /** One-way request delivery (orchestrator -> guest server). */
+    Duration requestLatency = usec(200);
+
+    /** One-way response delivery (guest server -> orchestrator). */
+    Duration responseLatency = usec(200);
+
+    /** Per-hop cost of the cluster fabric (LB -> worker, Sec. 3.2). */
+    Duration clusterHop = usec(500);
+};
+
+/**
+ * A persistent gRPC connection between the orchestrator and one
+ * function instance.
+ */
+class RpcConnection
+{
+  public:
+    RpcConnection(sim::Simulation &sim, RpcParams params = RpcParams{})
+        : sim(sim), _params(params)
+    {
+    }
+
+    /** Wire cost of restoring the session (guest faults excluded). */
+    sim::Task<void>
+    restoreSession()
+    {
+        co_await sim.delay(_params.connectionHandshake);
+        _established = true;
+    }
+
+    /** Deliver a request to the guest server. */
+    sim::Task<void>
+    sendRequest()
+    {
+        co_await sim.delay(_params.requestLatency);
+    }
+
+    /** Deliver the response back to the data-plane router. */
+    sim::Task<void>
+    sendResponse()
+    {
+        co_await sim.delay(_params.responseLatency);
+    }
+
+    bool established() const { return _established; }
+    void reset() { _established = false; }
+
+    const RpcParams &params() const { return _params; }
+
+  private:
+    sim::Simulation &sim;
+    RpcParams _params;
+    bool _established = false;
+};
+
+} // namespace vhive::net
+
+#endif // VHIVE_NET_RPC_HH

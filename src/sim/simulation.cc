@@ -1,0 +1,106 @@
+#include "sim/simulation.hh"
+
+#include "sim/task.hh"
+#include "util/logging.hh"
+
+namespace vhive::sim {
+
+namespace {
+thread_local Simulation *g_current = nullptr;
+} // namespace
+
+Simulation *
+Simulation::current()
+{
+    return g_current;
+}
+
+Simulation::~Simulation()
+{
+    _tearingDown = true;
+    // Reclaim detached forever-loop tasks that never completed. Their
+    // frames cascade-destroy any structured children they own. Copy the
+    // set first: child destruction may unregister entries.
+    std::vector<void *> pending(detached.begin(), detached.end());
+    detached.clear();
+    for (void *addr : pending)
+        std::coroutine_handle<>::from_address(addr).destroy();
+}
+
+void
+Simulation::schedule(std::coroutine_handle<> h, Time when)
+{
+    VHIVE_ASSERT(h);
+    if (when < _now)
+        panic("scheduling into the past (%lld < %lld)",
+              static_cast<long long>(when), static_cast<long long>(_now));
+    queue.push(Event{when, nextSeq++, h});
+}
+
+void
+Simulation::scheduleAfter(std::coroutine_handle<> h, Duration d)
+{
+    schedule(h, _now + (d > 0 ? d : 0));
+}
+
+void
+Simulation::spawn(Task<void> task)
+{
+    VHIVE_ASSERT(task.valid());
+    auto handle = task.release();
+    auto &p = handle.promise();
+    VHIVE_ASSERT(!p.started);
+    p.started = true;
+    p.detached = true;
+    p.sim = this;
+    registerDetached(handle);
+    schedule(handle, _now);
+}
+
+void
+Simulation::registerDetached(std::coroutine_handle<> h)
+{
+    detached.insert(h.address());
+}
+
+void
+Simulation::unregisterDetached(std::coroutine_handle<> h)
+{
+    detached.erase(h.address());
+}
+
+void
+Simulation::step(const Event &ev)
+{
+    _now = ev.when;
+    ++_eventsProcessed;
+    Simulation *prev = g_current;
+    g_current = this;
+    ev.handle.resume();
+    g_current = prev;
+}
+
+Time
+Simulation::run()
+{
+    while (!queue.empty()) {
+        Event ev = queue.top();
+        queue.pop();
+        step(ev);
+    }
+    return _now;
+}
+
+void
+Simulation::runUntil(Time until)
+{
+    VHIVE_ASSERT(until >= _now);
+    while (!queue.empty() && queue.top().when <= until) {
+        Event ev = queue.top();
+        queue.pop();
+        step(ev);
+    }
+    _now = until;
+}
+
+} // namespace vhive::sim

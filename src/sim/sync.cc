@@ -1,0 +1,29 @@
+#include "sim/sync.hh"
+
+namespace vhive::sim {
+
+void
+Gate::openGate()
+{
+    if (open)
+        return;
+    open = true;
+    for (auto h : waiters)
+        sim.schedule(h, sim.now());
+    waiters.clear();
+}
+
+void
+Semaphore::release()
+{
+    if (!waiters.empty()) {
+        auto h = waiters.front();
+        waiters.pop_front();
+        // Hand the permit directly to the waiter: available stays 0.
+        sim.schedule(h, sim.now());
+    } else {
+        ++available;
+    }
+}
+
+} // namespace vhive::sim

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Synchronization primitives for simulated tasks: Gate (one-shot event),
+ * Latch (countdown), Semaphore (FIFO counted resource), and Channel<T>
+ * (unbounded FIFO message queue). All wake-ups are funnelled through the
+ * simulation event queue so same-time ordering stays deterministic.
+ */
+
+#ifndef VHIVE_SIM_SYNC_HH
+#define VHIVE_SIM_SYNC_HH
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace vhive::sim {
+
+/**
+ * One-shot event. Tasks co_await wait(); open() releases all current and
+ * future waiters at the current simulated time.
+ */
+class Gate
+{
+  public:
+    explicit Gate(Simulation &sim) : sim(sim) {}
+
+    Gate(const Gate &) = delete;
+    Gate &operator=(const Gate &) = delete;
+
+    /** True once open() has been called. */
+    bool isOpen() const { return open; }
+
+    /** Release all waiters; idempotent. */
+    void openGate();
+
+    /** Awaitable: suspend until the gate opens (no-op if already open). */
+    auto
+    wait()
+    {
+        struct Awaiter {
+            Gate &gate;
+            bool await_ready() const noexcept { return gate.open; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                gate.waiters.push_back(h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    Simulation &sim;
+    std::vector<std::coroutine_handle<>> waiters;
+    bool open = false;
+};
+
+/**
+ * Countdown latch: wait() completes after @p count arrive() calls.
+ * Useful to join a dynamic number of spawned tasks (e.g. Fig. 9's
+ * concurrent cold starts).
+ */
+class Latch
+{
+  public:
+    Latch(Simulation &sim, std::int64_t count)
+        : gate(sim), remaining(count)
+    {
+        VHIVE_ASSERT(count >= 0);
+        if (remaining == 0)
+            gate.openGate();
+    }
+
+    /** Signal one completion. */
+    void
+    arrive()
+    {
+        VHIVE_ASSERT(remaining > 0);
+        if (--remaining == 0)
+            gate.openGate();
+    }
+
+    /** Awaitable: resume once the count reaches zero. */
+    auto wait() { return gate.wait(); }
+
+  private:
+    Gate gate;
+    std::int64_t remaining;
+};
+
+/**
+ * Counted resource with FIFO admission. Models disk channels, CPU cores
+ * and controller serialization points.
+ */
+class Semaphore
+{
+  public:
+    Semaphore(Simulation &sim, std::int64_t permits)
+        : sim(sim), available(permits)
+    {
+        VHIVE_ASSERT(permits >= 0);
+    }
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    /** Awaitable: obtain one permit, queueing FIFO when exhausted. */
+    auto
+    acquire()
+    {
+        struct Awaiter {
+            Semaphore &sem;
+            bool
+            await_ready()
+            {
+                if (sem.available > 0) {
+                    --sem.available;
+                    return true;
+                }
+                return false;
+            }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sem.waiters.push_back(h);
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{*this};
+    }
+
+    /** Return one permit, waking the oldest waiter (if any). */
+    void release();
+
+    /** Permits currently available. */
+    std::int64_t availablePermits() const { return available; }
+
+    /** Tasks currently queued on acquire(). */
+    std::int64_t queueLength() const
+    {
+        return static_cast<std::int64_t>(waiters.size());
+    }
+
+  private:
+    Simulation &sim;
+    std::deque<std::coroutine_handle<>> waiters;
+    std::int64_t available;
+};
+
+/**
+ * RAII helper: acquire a semaphore for the duration of a scope.
+ * Usage: `co_await sem.acquire(); SemaphoreGuard g(sem); ...`
+ */
+class SemaphoreGuard
+{
+  public:
+    explicit SemaphoreGuard(Semaphore &sem) : sem(&sem) {}
+    ~SemaphoreGuard()
+    {
+        if (sem)
+            sem->release();
+    }
+    SemaphoreGuard(const SemaphoreGuard &) = delete;
+    SemaphoreGuard &operator=(const SemaphoreGuard &) = delete;
+    SemaphoreGuard(SemaphoreGuard &&o) noexcept : sem(o.sem)
+    {
+        o.sem = nullptr;
+    }
+
+  private:
+    Semaphore *sem;
+};
+
+/**
+ * Unbounded FIFO channel carrying values of type T between tasks.
+ * Multiple senders and receivers are allowed; receivers are served in
+ * arrival order.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    explicit Channel(Simulation &sim) : sim(sim) {}
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /**
+     * Enqueue a value. If a receiver is blocked, the value is handed
+     * directly to the oldest one (so a later-arriving receiver cannot
+     * steal it before the wake-up event fires).
+     */
+    void
+    send(T value)
+    {
+        if (!receivers.empty()) {
+            RecvWaiter w = receivers.front();
+            receivers.pop_front();
+            w.slot->emplace(std::move(value));
+            sim.schedule(w.handle, sim.now());
+        } else {
+            values.push_back(std::move(value));
+        }
+    }
+
+    /** Awaitable: dequeue the next value, blocking while empty. */
+    auto
+    recv()
+    {
+        struct Awaiter {
+            Channel &ch;
+            std::optional<T> slot;
+
+            bool
+            await_ready()
+            {
+                if (!ch.values.empty()) {
+                    slot.emplace(std::move(ch.values.front()));
+                    ch.values.pop_front();
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ch.receivers.push_back(RecvWaiter{h, &slot});
+            }
+
+            T await_resume() { return std::move(*slot); }
+        };
+        return Awaiter{*this};
+    }
+
+    /** Values waiting to be received. */
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(values.size());
+    }
+
+    /** True when no values are queued. */
+    bool empty() const { return values.empty(); }
+
+  private:
+    struct RecvWaiter {
+        std::coroutine_handle<> handle;
+        std::optional<T> *slot;
+    };
+
+    Simulation &sim;
+    std::deque<T> values;
+    std::deque<RecvWaiter> receivers;
+};
+
+} // namespace vhive::sim
+
+#endif // VHIVE_SIM_SYNC_HH

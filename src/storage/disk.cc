@@ -1,0 +1,135 @@
+#include "storage/disk.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vhive::storage {
+
+namespace {
+
+Duration
+transferTime(Bytes bytes, double bw_bytes_per_sec)
+{
+    return static_cast<Duration>(static_cast<double>(bytes) /
+                                 bw_bytes_per_sec * 1e9);
+}
+
+} // namespace
+
+DiskParams
+DiskParams::ssd()
+{
+    DiskParams p;
+    p.name = "sata3-ssd";
+    p.controllerFixed = usec(8);
+    p.controllerBw = 1e9;     // SATA3 interface ceiling
+    p.channels = 16;
+    p.channelLatency = usec(70);
+    p.channelBw = 100e6;
+    p.stripeBytes = 128 * kKiB;
+    p.seekLatency = 0;
+    return p;
+}
+
+DiskParams
+DiskParams::hdd()
+{
+    DiskParams p;
+    p.name = "sata3-hdd-7200rpm";
+    p.controllerFixed = usec(8);
+    p.controllerBw = 1e9;
+    p.channels = 1;           // a single actuator arm
+    p.channelLatency = usec(50);
+    p.channelBw = 150e6;      // outer-track streaming rate
+    p.stripeBytes = 128 * kKiB;
+    p.seekLatency = msec(6);  // avg seek + rotational delay
+    return p;
+}
+
+DiskParams
+DiskParams::remoteStorage()
+{
+    DiskParams p;
+    p.name = "remote-disaggregated";
+    // Serialized NIC/submission stage; transfers share a 10 GbE link.
+    p.controllerFixed = usec(15);
+    p.controllerBw = 1.17e9;
+    // Parallel service-side streams, each dominated by the network
+    // round trip plus the service's own storage access.
+    p.channels = 8;
+    p.channelLatency = usec(350);
+    p.channelBw = 150e6;
+    p.stripeBytes = 128 * kKiB;
+    p.seekLatency = 0;
+    return p;
+}
+
+DiskDevice::DiskDevice(sim::Simulation &sim, DiskParams params)
+    : sim(sim), _params(std::move(params)),
+      controller(sim, 1),
+      channelBank(sim, _params.channels)
+{
+    VHIVE_ASSERT(_params.channels >= 1);
+    VHIVE_ASSERT(_params.stripeBytes >= kPageSize);
+}
+
+sim::Task<void>
+DiskDevice::read(Bytes lba, Bytes bytes)
+{
+    _stats.bytesRead += bytes;
+    return transfer(lba, bytes, false);
+}
+
+sim::Task<void>
+DiskDevice::write(Bytes lba, Bytes bytes)
+{
+    _stats.bytesWritten += bytes;
+    return transfer(lba, bytes, true);
+}
+
+sim::Task<void>
+DiskDevice::transfer(Bytes lba, Bytes bytes, bool is_write)
+{
+    (void)is_write; // writes share the read service model
+    VHIVE_ASSERT(lba >= 0 && bytes > 0);
+    ++_stats.requests;
+
+    auto n_subs = (bytes + _params.stripeBytes - 1) / _params.stripeBytes;
+    sim::Latch done(sim, n_subs);
+    Bytes off = 0;
+    while (off < bytes) {
+        Bytes chunk = std::min<Bytes>(_params.stripeBytes, bytes - off);
+        sim.spawn(subTransfer(lba + off, chunk, &done));
+        off += chunk;
+    }
+    co_await done.wait();
+}
+
+sim::Task<void>
+DiskDevice::subTransfer(Bytes lba, Bytes bytes, sim::Latch *done)
+{
+    ++_stats.subRequests;
+
+    // Stage 1: serialized controller / host-interface submission.
+    co_await controller.acquire();
+    co_await sim.delay(_params.controllerFixed +
+                       transferTime(bytes, _params.controllerBw));
+    controller.release();
+
+    // Stage 2: media access on one of the parallel channels.
+    co_await channelBank.acquire();
+    Duration media = _params.channelLatency +
+                     transferTime(bytes, _params.channelBw);
+    if (_params.seekLatency > 0 && lba != lastEndLba) {
+        media += _params.seekLatency;
+        ++_stats.seeks;
+    }
+    lastEndLba = lba + bytes;
+    co_await sim.delay(media);
+    channelBank.release();
+
+    done->arrive();
+}
+
+} // namespace vhive::storage

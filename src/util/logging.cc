@@ -1,0 +1,88 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace vhive {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &msg)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Inform: tag = "info: "; break;
+      case LogLevel::Warn:   tag = "warn: "; break;
+      case LogLevel::Panic:  tag = "panic: "; break;
+      case LogLevel::Fatal:  tag = "fatal: "; break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+LogSink g_sink = &defaultSink;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = g_sink;
+    g_sink = sink ? sink : &defaultSink;
+    return prev;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    g_sink(LogLevel::Inform, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    g_sink(LogLevel::Warn, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    g_sink(LogLevel::Panic, vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    g_sink(LogLevel::Fatal, vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+} // namespace vhive

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Status/error reporting helpers following the gem5 idiom: panic() for
+ * internal invariant violations (a simulator bug), fatal() for user errors
+ * (bad configuration), warn()/inform() for non-fatal diagnostics.
+ */
+
+#ifndef VHIVE_UTIL_LOGGING_HH
+#define VHIVE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace vhive {
+
+/**
+ * Severity used by the message sink; mostly useful for tests that want to
+ * capture or silence output.
+ */
+enum class LogLevel { Inform, Warn, Panic, Fatal };
+
+/** Signature of a log sink. Receives fully formatted single-line text. */
+using LogSink = void (*)(LogLevel level, const std::string &msg);
+
+/**
+ * Replace the process-wide log sink.
+ *
+ * @param sink New sink, or nullptr to restore the default (stderr).
+ * @return The previous sink.
+ */
+LogSink setLogSink(LogSink sink);
+
+/** Emit an informational message (printf-style formatting). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort. Use for conditions
+ * that cannot be the user's fault.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-facing error and exit(1). Use for bad
+ * configuration or invalid arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Like assert(), but active in all build types and routed to panic(). */
+#define VHIVE_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::vhive::panic("assertion failed at %s:%d: %s", __FILE__,      \
+                           __LINE__, #cond);                               \
+        }                                                                  \
+    } while (0)
+
+} // namespace vhive
+
+#endif // VHIVE_UTIL_LOGGING_HH

@@ -1,0 +1,119 @@
+#include "util/table.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace vhive {
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : cols(std::move(headers))
+{
+    VHIVE_ASSERT(!cols.empty());
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    VHIVE_ASSERT(!rows.empty());
+    VHIVE_ASSERT(rows.back().size() < cols.size());
+    rows.back().push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(fmtDouble(v, precision));
+}
+
+Table &
+Table::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c)
+        widths[c] = cols[c].size();
+    for (const auto &r : rows)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells,
+                        std::string &out) {
+        for (size_t c = 0; c < cols.size(); ++c) {
+            std::string cell_text = c < cells.size() ? cells[c] : "";
+            out += cell_text;
+            if (c + 1 < cols.size())
+                out += std::string(widths[c] - cell_text.size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(cols, out);
+    size_t total = 0;
+    for (size_t c = 0; c < cols.size(); ++c)
+        total += widths[c] + (c + 1 < cols.size() ? 2 : 0);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto &r : rows)
+        emit_row(r, out);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    std::string out;
+    for (size_t c = 0; c < cols.size(); ++c) {
+        out += escape(cols[c]);
+        out += c + 1 < cols.size() ? "," : "\n";
+    }
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < cols.size(); ++c) {
+            if (c < r.size())
+                out += escape(r[c]);
+            out += c + 1 < cols.size() ? "," : "\n";
+        }
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace vhive

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal aligned-column ASCII table printer used by the benchmark
+ * harnesses to emit the same rows/series the paper's figures report.
+ */
+
+#ifndef VHIVE_UTIL_TABLE_HH
+#define VHIVE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vhive {
+
+/**
+ * Collects rows of string cells and renders them with aligned columns.
+ * Numeric helpers format with a fixed precision so tables are diffable.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &s);
+
+    /** Append a formatted floating-point cell. */
+    Table &cell(double v, int precision = 1);
+
+    /** Append an integer cell. */
+    Table &cell(std::int64_t v);
+
+    /** Render the table to a string (header, rule, rows). */
+    std::string str() const;
+
+    /** Render as CSV (header row + data rows), for artifact export. */
+    std::string csv() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format helper: fixed precision double -> string. */
+std::string fmtDouble(double v, int precision);
+
+} // namespace vhive
+
+#endif // VHIVE_UTIL_TABLE_HH

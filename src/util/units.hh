@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Core unit types shared by every module: simulated time (nanoseconds) and
+ * byte/page quantities, plus readable literal helpers.
+ */
+
+#ifndef VHIVE_UTIL_UNITS_HH
+#define VHIVE_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace vhive {
+
+/** Simulated time in nanoseconds since simulation start. */
+using Time = std::int64_t;
+
+/** Time span in nanoseconds. */
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+/** Construct a duration from microseconds. */
+constexpr Duration usec(double us)
+{
+    return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+/** Construct a duration from milliseconds. */
+constexpr Duration msec(double ms)
+{
+    return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+
+/** Construct a duration from seconds. */
+constexpr Duration sec(double s)
+{
+    return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/** Convert a duration to (fractional) milliseconds, for reporting. */
+constexpr double toMs(Duration d)
+{
+    return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/** Convert a duration to (fractional) microseconds, for reporting. */
+constexpr double toUs(Duration d)
+{
+    return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/** Byte counts. Signed to catch accidental underflow in arithmetic. */
+using Bytes = std::int64_t;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+/** Guest and host page size. The whole stack assumes 4 KiB pages. */
+constexpr Bytes kPageSize = 4 * kKiB;
+
+/** Number of 4 KiB pages covering @p bytes (rounding up). */
+constexpr std::int64_t pagesForBytes(Bytes bytes)
+{
+    return (bytes + kPageSize - 1) / kPageSize;
+}
+
+/** Convert a page count to bytes. */
+constexpr Bytes bytesForPages(std::int64_t pages)
+{
+    return pages * kPageSize;
+}
+
+/** Convert bytes to (fractional) MiB, for reporting. */
+constexpr double toMiB(Bytes b)
+{
+    return static_cast<double>(b) / static_cast<double>(kMiB);
+}
+
+/**
+ * Throughput helper: MB/s (decimal, as disk vendors and the paper use)
+ * achieved when moving @p bytes in @p d nanoseconds.
+ */
+constexpr double mbps(Bytes bytes, Duration d)
+{
+    if (d <= 0)
+        return 0.0;
+    return (static_cast<double>(bytes) / 1e6) /
+           (static_cast<double>(d) / static_cast<double>(kSecond));
+}
+
+} // namespace vhive
+
+#endif // VHIVE_UTIL_UNITS_HH

@@ -1,0 +1,3 @@
+#include "vmm/snapshot.hh"
+
+// SnapshotFiles/VmmParams are plain data; this TU anchors the library.

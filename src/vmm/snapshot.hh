@@ -1,0 +1,61 @@
+/**
+ * @file
+ * On-disk artifacts of a MicroVM snapshot (Sec. 2.3): the serialized
+ * VMM/device state file and the full guest-memory image. Loading is
+ * two-phase — deserialize the VMM state, then map the memory file for
+ * lazy paging (or register it with userfaultfd for REAP).
+ */
+
+#ifndef VHIVE_VMM_SNAPSHOT_HH
+#define VHIVE_VMM_SNAPSHOT_HH
+
+#include "storage/file_store.hh"
+#include "util/units.hh"
+
+namespace vhive::vmm {
+
+/** Handles to a function's snapshot files on the snapshot store. */
+struct SnapshotFiles
+{
+    storage::FileId vmmState = storage::kInvalidFile;
+    storage::FileId guestMemory = storage::kInvalidFile;
+
+    bool
+    valid() const
+    {
+        return vmmState != storage::kInvalidFile &&
+               guestMemory != storage::kInvalidFile;
+    }
+};
+
+/** Cost/size constants of the hypervisor lifecycle. */
+struct VmmParams
+{
+    /** Spawning the hypervisor process + API socket round trip. */
+    Duration spawnProcess = msec(8);
+
+    /** Deserializing VMM + emulated device state (CPU work). */
+    Duration restoreVmmState = msec(14);
+
+    /** Resuming vCPUs after restore. */
+    Duration resumeVcpus = msec(2);
+
+    /** Serializing VMM + device state when snapshotting. */
+    Duration serializeVmmState = msec(10);
+
+    /** Pausing the VM before snapshotting. */
+    Duration pauseVm = msec(2);
+
+    /** Creating a fresh VM (pre-boot device setup + rootfs mount). */
+    Duration createVm = msec(120);
+
+    /** Size of the serialized VMM/device state on disk. */
+    Bytes vmmStateSize = 2 * kMiB;
+
+    /** Hypervisor + emulation layer resident overhead (~3 MB). */
+    Bytes vmmOverhead = 3 * kMiB;
+};
+
+} // namespace vhive::vmm
+
+#endif // VHIVE_VMM_SNAPSHOT_HH

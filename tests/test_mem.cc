@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for guest memory backing modes and the userfaultfd model,
+ * including a miniature record-style monitor loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/cpu_pool.hh"
+#include "mem/guest_memory.hh"
+#include "mem/uffd.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "storage/disk.hh"
+#include "storage/file_store.hh"
+#include "util/units.hh"
+
+namespace vhive::mem {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+struct Fixture {
+    Simulation sim;
+    storage::DiskDevice ssd{sim, storage::DiskParams::ssd()};
+    storage::FileStore fs{sim, ssd};
+};
+
+TEST(CpuPool, SerializesBeyondCoreCount)
+{
+    Simulation sim;
+    host::CpuPool pool(sim, 2);
+    sim::Latch done(sim, 4);
+    struct Job {
+        static Task<void>
+        run(host::CpuPool &pool, sim::Latch *done)
+        {
+            co_await pool.exec(msec(10));
+            done->arrive();
+        }
+    };
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(Job::run(pool, &done));
+    Time end = sim.run();
+    EXPECT_EQ(end, msec(20)); // two waves on two cores
+    EXPECT_EQ(pool.idleCores(), 2);
+}
+
+TEST(GuestMemory, AnonymousTouchMaterializesPages)
+{
+    Fixture fx;
+    GuestMemory gm(fx.sim, fx.fs, 1024);
+    gm.backAnonymous();
+    struct T {
+        static Task<void>
+        run(GuestMemory &gm)
+        {
+            co_await gm.touchRun(0, 64);
+            co_await gm.touchRun(100, 4);
+        }
+    };
+    fx.sim.spawn(T::run(gm));
+    fx.sim.run();
+    EXPECT_EQ(gm.presentPages(), 68);
+    EXPECT_TRUE(gm.isPresent(0));
+    EXPECT_TRUE(gm.isPresent(103));
+    EXPECT_FALSE(gm.isPresent(104));
+    EXPECT_EQ(gm.stats().majorFaults, 2);
+}
+
+TEST(GuestMemory, RepeatTouchIsMinor)
+{
+    Fixture fx;
+    GuestMemory gm(fx.sim, fx.fs, 1024);
+    gm.backAnonymous();
+    struct T {
+        static Task<void>
+        run(GuestMemory &gm)
+        {
+            co_await gm.touchRun(0, 10);
+            co_await gm.touchRun(0, 10);
+        }
+    };
+    fx.sim.spawn(T::run(gm));
+    fx.sim.run();
+    EXPECT_EQ(gm.stats().majorFaults, 1);
+    EXPECT_EQ(gm.stats().minorFaults, 10);
+    EXPECT_EQ(gm.presentPages(), 10);
+}
+
+TEST(GuestMemory, LazyFileFaultsReadFromDisk)
+{
+    Fixture fx;
+    auto mem_file = fx.fs.createFile("snap.mem", 1024 * kPageSize);
+    GuestMemory gm(fx.sim, fx.fs, 1024);
+    gm.backLazyFile(mem_file);
+    Duration took = 0;
+    struct T {
+        static Task<void>
+        run(Fixture &fx, GuestMemory &gm, Duration &out)
+        {
+            Time t0 = fx.sim.now();
+            co_await gm.touchRun(16, 3);
+            out = fx.sim.now() - t0;
+        }
+    };
+    fx.sim.spawn(T::run(fx, gm, took));
+    fx.sim.run();
+    EXPECT_EQ(gm.presentPages(), 3);
+    EXPECT_GT(fx.ssd.stats().bytesRead, 0);
+    // Fault path: serialized miss stage + device access, order 100s us.
+    EXPECT_GT(took, usec(150));
+    EXPECT_LT(took, msec(2));
+}
+
+TEST(GuestMemory, LazyFileMixedRunSplitsFaults)
+{
+    Fixture fx;
+    auto mem_file = fx.fs.createFile("snap.mem", 1024 * kPageSize);
+    GuestMemory gm(fx.sim, fx.fs, 1024);
+    gm.backLazyFile(mem_file);
+    struct T {
+        static Task<void>
+        run(GuestMemory &gm)
+        {
+            co_await gm.touchRun(10, 4);  // pages 10..13 resident
+            co_await gm.touchRun(8, 8);   // 8,9 missing; 10..13 hit;
+                                          // 14,15 missing
+        }
+    };
+    fx.sim.spawn(T::run(gm));
+    fx.sim.run();
+    EXPECT_EQ(gm.presentPages(), 8);
+    EXPECT_EQ(gm.stats().majorFaults, 3);
+    EXPECT_EQ(gm.stats().minorFaults, 4);
+}
+
+TEST(GuestMemory, BackLazyFileResetsPresence)
+{
+    Fixture fx;
+    auto mem_file = fx.fs.createFile("snap.mem", 1024 * kPageSize);
+    GuestMemory gm(fx.sim, fx.fs, 1024);
+    gm.backAnonymous();
+    struct T {
+        static Task<void>
+        run(GuestMemory &gm)
+        {
+            co_await gm.touchRun(0, 100);
+        }
+    };
+    fx.sim.spawn(T::run(gm));
+    fx.sim.run();
+    EXPECT_EQ(gm.presentPages(), 100);
+    gm.backLazyFile(mem_file);
+    EXPECT_EQ(gm.presentPages(), 0);
+}
+
+/** A minimal record-mode monitor: serve each fault from the file. */
+Task<void>
+miniMonitor(Fixture &fx, GuestMemory &gm, UserFaultFd &uffd,
+            storage::FileId mem_file, int expected_faults,
+            std::vector<std::int64_t> *trace)
+{
+    for (int i = 0; i < expected_faults; ++i) {
+        FaultEvent ev = co_await uffd.nextFault();
+        trace->push_back(ev.page);
+        co_await fx.fs.readBuffered(mem_file, bytesForPages(ev.page),
+                                    bytesForPages(ev.runPages));
+        co_await uffd.copyCost(ev.runPages, 0);
+        gm.installRange(ev.page, ev.runPages);
+        ev.done->openGate();
+    }
+}
+
+TEST(Uffd, MonitorServesFaults)
+{
+    Fixture fx;
+    auto mem_file = fx.fs.createFile("snap.mem", 1024 * kPageSize);
+    GuestMemory gm(fx.sim, fx.fs, 1024);
+    UserFaultFd uffd(fx.sim);
+    gm.backUffd(mem_file, &uffd);
+
+    std::vector<std::int64_t> trace;
+    fx.sim.spawn(miniMonitor(fx, gm, uffd, mem_file, 3, &trace));
+
+    struct T {
+        static Task<void>
+        run(GuestMemory &gm)
+        {
+            co_await gm.touchRun(42, 2);
+            co_await gm.touchRun(100, 3);
+            co_await gm.touchRun(7, 1);
+        }
+    };
+    fx.sim.spawn(T::run(gm));
+    fx.sim.run();
+
+    EXPECT_EQ(gm.presentPages(), 6);
+    EXPECT_EQ((trace), (std::vector<std::int64_t>{42, 100, 7}));
+    EXPECT_EQ(uffd.stats().faultsDelivered, 3);
+    EXPECT_EQ(uffd.stats().pagesInstalled, 6);
+    EXPECT_EQ(gm.stats().pagesInstalledByMonitor, 6);
+}
+
+TEST(Uffd, PartialInstallRefaults)
+{
+    // Monitor that installs only the first page of each request: the
+    // faulting run must re-fault for the remainder and still complete.
+    Fixture fx;
+    auto mem_file = fx.fs.createFile("snap.mem", 256 * kPageSize);
+    GuestMemory gm(fx.sim, fx.fs, 256);
+    UserFaultFd uffd(fx.sim);
+    gm.backUffd(mem_file, &uffd);
+
+    struct StingyMonitor {
+        static Task<void>
+        run(Fixture &fx, GuestMemory &gm, UserFaultFd &uffd,
+            storage::FileId f, int faults)
+        {
+            for (int i = 0; i < faults; ++i) {
+                FaultEvent ev = co_await uffd.nextFault();
+                co_await fx.fs.readBuffered(f, bytesForPages(ev.page),
+                                            kPageSize);
+                co_await uffd.copyCost(1, 0);
+                gm.installRange(ev.page, 1);
+                ev.done->openGate();
+            }
+        }
+    };
+    struct T {
+        static Task<void>
+        run(GuestMemory &gm, bool &done)
+        {
+            co_await gm.touchRun(10, 4);
+            done = true;
+        }
+    };
+    bool done = false;
+    fx.sim.spawn(StingyMonitor::run(fx, gm, uffd, mem_file, 4));
+    fx.sim.spawn(T::run(gm, done));
+    fx.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(gm.presentPages(), 4);
+    EXPECT_EQ(uffd.stats().faultsDelivered, 4);
+}
+
+TEST(Uffd, CopyCostBatches)
+{
+    Simulation sim;
+    UserFaultFd uffd(sim);
+    struct T {
+        static Task<void>
+        run(Simulation &sim, UserFaultFd &uffd, Duration &batched,
+            Duration &singles)
+        {
+            Time t0 = sim.now();
+            co_await uffd.copyCost(2048, 0); // one big call
+            batched = sim.now() - t0;
+            t0 = sim.now();
+            co_await uffd.copyCost(2048, 1); // page-at-a-time
+            singles = sim.now() - t0;
+        }
+    };
+    Duration batched = 0, singles = 0;
+    sim.spawn(T::run(sim, uffd, batched, singles));
+    sim.run();
+    EXPECT_LT(batched, singles);
+    EXPECT_EQ(uffd.stats().copyCalls, 1 + 2048);
+    EXPECT_EQ(uffd.stats().pagesInstalled, 2 * 2048);
+}
+
+TEST(Uffd, FaultLatencyAccountsTrapAndWake)
+{
+    // With an instant monitor, the fault round trip still costs the
+    // trap, monitor wake, and target wake.
+    Fixture fx;
+    auto mem_file = fx.fs.createFile("m", 64 * kPageSize);
+    GuestMemory gm(fx.sim, fx.fs, 64);
+    UserFaultFd uffd(fx.sim);
+    gm.backUffd(mem_file, &uffd);
+    struct InstantMonitor {
+        static Task<void>
+        run(GuestMemory &gm, UserFaultFd &uffd)
+        {
+            FaultEvent ev = co_await uffd.nextFault();
+            gm.installRange(ev.page, ev.runPages);
+            ev.done->openGate();
+        }
+    };
+    struct T {
+        static Task<void>
+        run(Simulation &sim, GuestMemory &gm, Duration &out)
+        {
+            Time t0 = sim.now();
+            co_await gm.touchRun(0, 1);
+            out = sim.now() - t0;
+        }
+    };
+    Duration took = 0;
+    fx.sim.spawn(InstantMonitor::run(gm, uffd));
+    fx.sim.spawn(T::run(fx.sim, gm, took));
+    fx.sim.run();
+    const auto &p = uffd.params();
+    // + 100 ns: the re-scan touches the freshly installed page.
+    EXPECT_EQ(took, p.faultTrap + p.monitorWake + p.wakeTarget + 100);
+}
+
+} // namespace
+} // namespace vhive::mem

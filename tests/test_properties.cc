@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Property-based suites (parameterized gtest) asserting the paper's
+ * qualitative claims hold for EVERY function in the suite and across
+ * seeds — the invariants a REAP deployment relies on:
+ *
+ *  P1  REAP prefetch is never slower than the vanilla baseline.
+ *  P2  REAP eliminates the majority of page faults.
+ *  P3  Residual faults track the unique/drift page fraction.
+ *  P4  Restored footprint ~= working set, always << boot footprint.
+ *  P5  Record-phase overhead stays within a sane envelope.
+ *  P6  Warm invocations approximate the profile's warm time.
+ *  P7  Traces are bit-deterministic; different inputs share the
+ *      stable pool.
+ *  P8  The WS-file/trace-file pair round-trips through the codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/options.hh"
+#include "core/orchestrator.hh"
+#include "core/worker.hh"
+#include "core/ws_file.hh"
+#include "func/profile.hh"
+#include "func/trace_gen.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::core {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+template <typename Fn>
+void
+runScenario(Simulation &sim, Fn &&body)
+{
+    struct Runner {
+        static Task<void>
+        run(Fn &body)
+        {
+            co_await body();
+        }
+    };
+    sim.spawn(Runner::run(body));
+    sim.run();
+}
+
+/** Everything one cold-start experiment produces, for one function. */
+struct Outcome {
+    LatencyBreakdown vanilla;
+    LatencyBreakdown record;
+    LatencyBreakdown reap;
+    LatencyBreakdown warm;
+    Bytes restoredFootprint = 0;
+    std::int64_t recordedPages = 0;
+};
+
+Outcome
+runFunction(const std::string &name, std::uint64_t seed)
+{
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.seed = seed;
+    Worker w(sim, cfg);
+    Outcome out;
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName(name));
+        co_await orch.prepareSnapshot(name);
+
+        InvokeOptions cold;
+        cold.flushPageCache = true;
+        cold.forceCold = true;
+
+        out.vanilla = co_await orch.invoke(
+            name, ColdStartMode::VanillaSnapshot, cold);
+        out.record =
+            co_await orch.invoke(name, ColdStartMode::Reap, cold);
+        out.recordedPages = orch.record(name).pageCount();
+
+        InvokeOptions keep = cold;
+        keep.keepWarm = true;
+        out.reap =
+            co_await orch.invoke(name, ColdStartMode::Reap, keep);
+        out.restoredFootprint = orch.instanceFootprints(name)[0];
+        out.warm = co_await orch.invoke(name, ColdStartMode::Reap);
+        co_await orch.stopAllInstances(name);
+    });
+    return out;
+}
+
+class PerFunction : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const func::FunctionProfile &
+    profile() const
+    {
+        return func::profileByName(GetParam());
+    }
+};
+
+TEST_P(PerFunction, ReapNeverSlowerThanVanilla)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    EXPECT_LT(o.reap.total, o.vanilla.total) << GetParam();
+}
+
+TEST_P(PerFunction, ReapEliminatesMajorityOfFaults)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    // Residual faults are a strict minority of the recorded set.
+    EXPECT_LT(o.reap.residualFaults, o.recordedPages / 2)
+        << GetParam();
+    // For stable functions (low unique/drift), elimination is ~97%+.
+    const auto &p = profile();
+    if (p.uniqueFrac < 0.05 && p.stableDriftFrac == 0.0) {
+        EXPECT_LT(o.reap.residualFaults, o.recordedPages / 20)
+            << GetParam();
+    }
+}
+
+TEST_P(PerFunction, ResidualsTrackUniqueFraction)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    const auto &p = profile();
+    double expected_frac =
+        p.uniqueFrac + (1.0 - p.uniqueFrac) * p.stableDriftFrac;
+    double resid_pages =
+        static_cast<double>(o.reap.majorFaults > 0
+                                ? o.reap.residualFaults
+                                : 0);
+    // Residual FAULTS (run-granular) must not exceed the expected
+    // unique PAGES; and unless the function is fully stable they
+    // should be nonzero.
+    EXPECT_LE(resid_pages,
+              expected_frac * static_cast<double>(p.wsPages()) * 1.2)
+        << GetParam();
+    if (expected_frac > 0.01)
+        EXPECT_GT(o.reap.residualFaults, 0) << GetParam();
+}
+
+TEST_P(PerFunction, RestoredFootprintTracksWorkingSet)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    const auto &p = profile();
+    double fp = toMiB(o.restoredFootprint);
+    double ws = toMiB(p.workingSet);
+    EXPECT_GT(fp, ws * 0.85) << GetParam();
+    // A REAP instance holds the prefetched (record) set plus this
+    // invocation's own unique pages.
+    EXPECT_LT(fp, ws * 1.35 + 4.0) << GetParam();
+    EXPECT_LT(fp, toMiB(p.bootFootprint) * 0.65) << GetParam();
+}
+
+TEST_P(PerFunction, RecordOverheadWithinEnvelope)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    double overhead = static_cast<double>(o.record.total) /
+                          static_cast<double>(o.vanilla.total) -
+                      1.0;
+    EXPECT_GT(overhead, 0.0) << GetParam();
+    EXPECT_LT(overhead, 0.95) << GetParam(); // paper: 15-87%
+}
+
+TEST_P(PerFunction, WarmApproximatesProfileWarmTime)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    const auto &p = profile();
+    // Warm total = warm exec + wire costs + input fetch; allow slack.
+    Duration slack = msec(3);
+    if (p.inputSize > 0)
+        slack += sec(static_cast<double>(p.inputSize) / 150e6);
+    EXPECT_GE(o.warm.total, p.warmExec) << GetParam();
+    EXPECT_LE(o.warm.total, p.warmExec + slack) << GetParam();
+}
+
+TEST_P(PerFunction, BreakdownSumsToTotal)
+{
+    Outcome o = runFunction(GetParam(), 0xabc);
+    for (const LatencyBreakdown *bd :
+         {&o.vanilla, &o.record, &o.reap}) {
+        Duration parts = bd->loadVmm + bd->connRestore +
+                         bd->processing + bd->fetchWs + bd->installWs;
+        EXPECT_LE(parts, bd->total + msec(1)) << GetParam();
+        // Components cover at least 90% of the end-to-end time (the
+        // rest is control-plane handling).
+        EXPECT_GT(static_cast<double>(parts),
+                  0.90 * static_cast<double>(bd->total))
+            << GetParam();
+    }
+}
+
+TEST_P(PerFunction, TraceCodecRoundTripsRecordedSet)
+{
+    Simulation sim;
+    Worker w(sim);
+    WorkingSetRecord rec;
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(profile());
+        co_await orch.prepareSnapshot(GetParam());
+        orch.flushHostCaches();
+        (void)co_await orch.invoke(GetParam(), ColdStartMode::Reap);
+        rec = orch.record(GetParam());
+    });
+    ASSERT_GT(rec.pageCount(), 0);
+    auto bytes = TraceFileCodec::encode(rec);
+    auto decoded = TraceFileCodec::decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->pages, rec.pages);
+    // Delta-varint encoding stays well under 8 bytes/page.
+    EXPECT_LT(static_cast<double>(bytes.size()),
+              8.0 * static_cast<double>(rec.pageCount()));
+}
+
+TEST_P(PerFunction, DeterministicAcrossRuns)
+{
+    Outcome a = runFunction(GetParam(), 0x77);
+    Outcome b = runFunction(GetParam(), 0x77);
+    EXPECT_EQ(a.vanilla.total, b.vanilla.total);
+    EXPECT_EQ(a.reap.total, b.reap.total);
+    EXPECT_EQ(a.reap.residualFaults, b.reap.residualFaults);
+    EXPECT_EQ(a.recordedPages, b.recordedPages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FunctionBench, PerFunction,
+    ::testing::Values("helloworld", "chameleon", "pyaes",
+                      "image_rotate", "json_serdes", "lr_serving",
+                      "cnn_serving", "rnn_serving", "lr_training",
+                      "video_processing"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+/** Trace-generator invariants across seeds (property sweep). */
+class TraceSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceSeeds, StablePoolIdenticalAcrossInputs)
+{
+    func::TraceGenerator gen(GetParam());
+    for (const auto &p : func::functionBench()) {
+        if (p.stableDriftFrac > 0)
+            continue; // drift intentionally breaks this
+        auto a = gen.invocation(p, 10);
+        auto b = gen.invocation(p, 11);
+        // Stable pages of a must all appear in b's page set.
+        auto pb = b.touchedPages();
+        std::int64_t missing = 0;
+        for (const auto &r : a.runs) {
+            if (!r.stable)
+                continue;
+            for (std::int64_t pg = r.page; pg < r.page + r.pages;
+                 ++pg) {
+                if (!std::binary_search(pb.begin(), pb.end(), pg))
+                    ++missing;
+            }
+        }
+        EXPECT_EQ(missing, 0) << p.name << " seed " << GetParam();
+    }
+}
+
+TEST_P(TraceSeeds, PageAccountingConsistent)
+{
+    func::TraceGenerator gen(GetParam());
+    for (const auto &p : func::functionBench()) {
+        auto t = gen.invocation(p, 3);
+        std::int64_t run_pages = 0;
+        for (const auto &r : t.runs)
+            run_pages += r.pages;
+        EXPECT_EQ(run_pages, t.totalPages()) << p.name;
+        EXPECT_EQ(t.totalPages(), p.wsPages()) << p.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeeds,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull,
+                                           0x123456789abcdefull));
+
+} // namespace
+} // namespace vhive::core

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Edge-case and stress tests for the DES kernel beyond the basics in
+ * test_sim.cc: empty runs, nested fork/join trees, heavy event
+ * volumes, semaphore fairness, and channel ordering under bursts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::sim {
+namespace {
+
+TEST(SimulationEdge, RunOnEmptyQueueReturnsImmediately)
+{
+    Simulation sim;
+    EXPECT_EQ(sim.run(), 0);
+    EXPECT_EQ(sim.eventsProcessed(), 0);
+    sim.runUntil(msec(5));
+    EXPECT_EQ(sim.now(), msec(5));
+}
+
+TEST(SimulationEdge, RunUntilSameTimeIsNoop)
+{
+    Simulation sim;
+    sim.runUntil(0);
+    EXPECT_EQ(sim.now(), 0);
+}
+
+Task<void>
+nest(Simulation &sim, int depth, int &leaves)
+{
+    if (depth == 0) {
+        co_await sim.delay(usec(1));
+        ++leaves;
+        co_return;
+    }
+    // Binary fork/join tree.
+    auto left = nest(sim, depth - 1, leaves);
+    auto right = nest(sim, depth - 1, leaves);
+    left.start(sim);
+    right.start(sim);
+    co_await left;
+    co_await right;
+}
+
+TEST(SimulationEdge, DeepForkJoinTree)
+{
+    Simulation sim;
+    int leaves = 0;
+    sim.spawn(nest(sim, 8, leaves));
+    Time end = sim.run();
+    EXPECT_EQ(leaves, 256);
+    // All leaves run concurrently: one microsecond total.
+    EXPECT_EQ(end, usec(1));
+}
+
+TEST(SimulationEdge, HighVolumeEventOrdering)
+{
+    Simulation sim;
+    std::vector<int> order;
+    struct T {
+        static Task<void>
+        run(Simulation &sim, std::vector<int> &order, int id,
+            Duration d)
+        {
+            co_await sim.delay(d);
+            order.push_back(id);
+        }
+    };
+    // 10k tasks with descending delays complete in ascending order.
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        sim.spawn(T::run(sim, order, i, usec(n - i)));
+    sim.run();
+    ASSERT_EQ(order.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], n - 1 - i);
+}
+
+TEST(SemaphoreEdge, FifoFairnessUnderContention)
+{
+    Simulation sim;
+    Semaphore sem(sim, 1);
+    std::vector<int> order;
+    struct T {
+        static Task<void>
+        run(Simulation &sim, Semaphore &sem, std::vector<int> &order,
+            int id, Duration arrive_at)
+        {
+            co_await sim.delay(arrive_at);
+            co_await sem.acquire();
+            SemaphoreGuard g(sem);
+            order.push_back(id);
+            co_await sim.delay(msec(10));
+        }
+    };
+    // Arrival order 0..7 staggered by 1 us; service must be FIFO even
+    // though the holder keeps the permit for 10 ms.
+    for (int i = 0; i < 8; ++i)
+        sim.spawn(T::run(sim, sem, order, i, usec(i)));
+    sim.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SemaphoreEdge, ZeroPermitSemaphoreBlocksUntilRelease)
+{
+    Simulation sim;
+    Semaphore sem(sim, 0);
+    bool got = false;
+    struct Waiter {
+        static Task<void>
+        run(Semaphore &sem, bool &got)
+        {
+            co_await sem.acquire();
+            got = true;
+        }
+    };
+    struct Releaser {
+        static Task<void>
+        run(Simulation &sim, Semaphore &sem)
+        {
+            co_await sim.delay(msec(1));
+            sem.release();
+        }
+    };
+    sim.spawn(Waiter::run(sem, got));
+    sim.spawn(Releaser::run(sim, sem));
+    sim.run();
+    EXPECT_TRUE(got);
+}
+
+TEST(ChannelEdge, BurstPreservesFifo)
+{
+    Simulation sim;
+    Channel<int> ch(sim);
+    std::vector<int> got;
+    struct C {
+        static Task<void>
+        run(Channel<int> &ch, std::vector<int> &got, int n)
+        {
+            for (int i = 0; i < n; ++i)
+                got.push_back(co_await ch.recv());
+        }
+    };
+    sim.spawn(C::run(ch, got, 1000));
+    // Burst-send everything at t=0 before the consumer runs.
+    for (int i = 0; i < 1000; ++i)
+        ch.send(i);
+    sim.run();
+    ASSERT_EQ(got.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(ChannelEdge, InterleavedSendRecvSameTimestamp)
+{
+    // send / recv strictly alternating at one timestamp must pair
+    // values 1:1 without loss or duplication.
+    Simulation sim;
+    Channel<int> ch(sim);
+    std::vector<int> got;
+    struct C {
+        static Task<void>
+        run(Channel<int> &ch, std::vector<int> &got, int n)
+        {
+            for (int i = 0; i < n; ++i)
+                got.push_back(co_await ch.recv());
+        }
+    };
+    struct P {
+        static Task<void>
+        run(Channel<int> &ch, int n)
+        {
+            for (int i = 0; i < n; ++i) {
+                ch.send(i);
+                co_await std::suspend_never{};
+            }
+        }
+    };
+    sim.spawn(C::run(ch, got, 64));
+    sim.spawn(P::run(ch, 64));
+    sim.run();
+    ASSERT_EQ(got.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(GateEdge, DoubleOpenIsIdempotent)
+{
+    Simulation sim;
+    Gate g(sim);
+    int woke = 0;
+    struct W {
+        static Task<void>
+        run(Gate &g, int &woke)
+        {
+            co_await g.wait();
+            ++woke;
+        }
+    };
+    sim.spawn(W::run(g, woke));
+    g.openGate();
+    g.openGate(); // second open must not double-schedule
+    sim.run();
+    EXPECT_EQ(woke, 1);
+}
+
+TEST(LatchEdge, ManyWaitersSingleArrival)
+{
+    Simulation sim;
+    Latch latch(sim, 1);
+    int woke = 0;
+    struct W {
+        static Task<void>
+        run(Latch &l, int &woke)
+        {
+            co_await l.wait();
+            ++woke;
+        }
+    };
+    for (int i = 0; i < 50; ++i)
+        sim.spawn(W::run(latch, woke));
+    struct A {
+        static Task<void>
+        run(Simulation &sim, Latch &l)
+        {
+            co_await sim.delay(usec(3));
+            l.arrive();
+        }
+    };
+    sim.spawn(A::run(sim, latch));
+    sim.run();
+    EXPECT_EQ(woke, 50);
+}
+
+TEST(TaskEdge, MoveAssignReplacesUnstartedTask)
+{
+    Simulation sim;
+    int runs = 0;
+    struct T {
+        static Task<void>
+        run(Simulation &sim, int &runs)
+        {
+            co_await sim.delay(usec(1));
+            ++runs;
+        }
+    };
+    Task<void> a = T::run(sim, runs);
+    // Replace before start: the first frame is destroyed unstarted.
+    a = T::run(sim, runs);
+    a.start(sim);
+    struct J {
+        static Task<void>
+        run(Task<void> &a)
+        {
+            co_await a;
+        }
+    };
+    sim.spawn(J::run(a));
+    sim.run();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(TaskEdge, AwaitAlreadyCompletedTask)
+{
+    Simulation sim;
+    struct T {
+        static Task<void>
+        run(Simulation &sim)
+        {
+            co_await sim.delay(usec(1));
+        }
+    };
+    struct J {
+        static Task<void>
+        run(Simulation &sim, Time &joined)
+        {
+            Task<void> t = T::run(sim);
+            t.start(sim);
+            co_await sim.delay(msec(1)); // t finishes long before
+            co_await t;                  // must not deadlock
+            joined = sim.now();
+        }
+    };
+    Time joined = -1;
+    sim.spawn(J::run(sim, joined));
+    sim.run();
+    EXPECT_EQ(joined, msec(1));
+}
+
+} // namespace
+} // namespace vhive::sim
