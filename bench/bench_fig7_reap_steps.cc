@@ -21,7 +21,6 @@ using namespace vhive;
 namespace {
 
 struct Step {
-    const char *label;
     core::ColdStartMode mode;
     double paper_ms;
 };
@@ -33,12 +32,13 @@ main()
 {
     bench::banner("Figure 7: REAP optimization steps (helloworld)");
 
+    // Each design point is one registered SnapshotLoader; labels come
+    // from the registry, not from this bench.
     const Step steps[] = {
-        {"Vanilla snapshots", core::ColdStartMode::VanillaSnapshot,
-         232},
-        {"Parallel PFs", core::ColdStartMode::ParallelPageFaults, 118},
-        {"WS file", core::ColdStartMode::WsFileCached, 71},
-        {"REAP", core::ColdStartMode::Reap, 60},
+        {core::ColdStartMode::VanillaSnapshot, 232},
+        {core::ColdStartMode::ParallelPageFaults, 118},
+        {core::ColdStartMode::WsFileCached, 71},
+        {core::ColdStartMode::Reap, 60},
     };
 
     sim::Simulation sim;
@@ -89,7 +89,7 @@ main()
             double bw = (ws_mb / reps) /
                         ((fetch_time / reps) / 1000.0) * 1.048576;
             t.row()
-                .cell(s.label)
+                .cell(orch.loaders().loaderFor(s.mode).name())
                 .cell(total / reps, 0)
                 .cell(s.paper_ms, 0)
                 .cell(load / reps, 0)

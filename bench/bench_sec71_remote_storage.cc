@@ -6,6 +6,14 @@
  * transfer and keeps most of its benefit ("REAP reduces both the
  * network and the disk bottlenecks by proactively moving a minimal
  * amount of state").
+ *
+ * Three storage placements, all dispatched through the SnapshotLoader
+ * registry:
+ *  - local SSD (the paper's evaluation platform),
+ *  - a remote block device (EBS-like; every disk request pays the
+ *    network),
+ *  - a remote object store (S3-like) via the first-class RemoteReap
+ *    mode: snapshot artifacts arrive as bulk object GETs.
  */
 
 #include <cstdio>
@@ -14,6 +22,7 @@
 #include "core/options.hh"
 #include "core/worker.hh"
 #include "func/profile.hh"
+#include "net/object_store.hh"
 #include "storage/disk.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -30,11 +39,9 @@ struct Row {
 
 Row
 measure(const func::FunctionProfile &profile,
-        const storage::DiskParams &disk)
+        const core::WorkerConfig &cfg, core::ColdStartMode reap_mode)
 {
     sim::Simulation sim;
-    core::WorkerConfig cfg;
-    cfg.disk = disk;
     core::Worker w(sim, cfg);
     Row row;
     bench::runScenario(sim, [&]() -> sim::Task<void> {
@@ -54,8 +61,8 @@ measure(const func::FunctionProfile &profile,
                 profile.name, core::ColdStartMode::VanillaSnapshot,
                 opts);
             base.add(toMs(b.total));
-            auto r = co_await orch.invoke(
-                profile.name, core::ColdStartMode::Reap, opts);
+            auto r = co_await orch.invoke(profile.name, reap_mode,
+                                          opts);
             reap.add(toMs(r.total));
         }
         row.base_ms = base.mean();
@@ -73,19 +80,43 @@ main()
                   "disaggregated storage");
 
     Table t({"function", "ssd_base", "ssd_reap", "ssd_speedup",
-             "remote_base", "remote_reap", "remote_speedup"});
-    Samples ssd_speedups, remote_speedups;
+             "remote_base", "remote_reap", "remote_speedup",
+             "s3_reap", "s3_speedup"});
+    Samples ssd_speedups, remote_speedups, s3_speedups;
     // A representative subset keeps the run short.
     const char *subset[] = {"helloworld", "pyaes", "lr_serving",
                             "cnn_serving", "json_serdes"};
     for (const char *name : subset) {
         const auto &p = func::profileByName(name);
-        Row ssd = measure(p, storage::DiskParams::ssd());
-        Row remote = measure(p, storage::DiskParams::remoteStorage());
+
+        core::WorkerConfig ssd_cfg;
+        ssd_cfg.disk = storage::DiskParams::ssd();
+        Row ssd = measure(p, ssd_cfg, core::ColdStartMode::Reap);
+
+        // Fully disaggregated baseline: both the snapshot block
+        // device and the input store sit across the network, so the
+        // s3 comparison below isolates snapshot placement only.
+        core::WorkerConfig remote_cfg;
+        remote_cfg.disk = storage::DiskParams::remoteStorage();
+        remote_cfg.objectStore = net::ObjectStoreParams::remote();
+        Row remote =
+            measure(p, remote_cfg, core::ColdStartMode::Reap);
+
+        // First-class remote mode: snapshot artifacts in an S3-like
+        // object store; residual faults served from the local image.
+        core::WorkerConfig s3_cfg;
+        s3_cfg.disk = storage::DiskParams::ssd();
+        s3_cfg.objectStore = net::ObjectStoreParams::remote();
+        Row s3 = measure(p, s3_cfg, core::ColdStartMode::RemoteReap);
+
         double s1 = ssd.base_ms / ssd.reap_ms;
         double s2 = remote.base_ms / remote.reap_ms;
+        // The honest baseline for object-store REAP is lazy paging
+        // over the same network (the remote block device).
+        double s3_speedup = remote.base_ms / s3.reap_ms;
         ssd_speedups.add(s1);
         remote_speedups.add(s2);
+        s3_speedups.add(s3_speedup);
         t.row()
             .cell(name)
             .cell(ssd.base_ms, 0)
@@ -93,15 +124,19 @@ main()
             .cell(s1, 2)
             .cell(remote.base_ms, 0)
             .cell(remote.reap_ms, 0)
-            .cell(s2, 2);
+            .cell(s2, 2)
+            .cell(s3.reap_ms, 0)
+            .cell(s3_speedup, 2);
     }
     t.print();
 
-    std::printf("\nGeomean speedup: %.2fx on local SSD vs %.2fx on "
-                "remote storage.\nPer-fault network round trips make "
-                "lazy paging collapse remotely; REAP's single\nbulk "
-                "transfer preserves most of its advantage (Sec. "
-                "7.1).\n",
-                ssd_speedups.geomean(), remote_speedups.geomean());
+    std::printf("\nGeomean speedup: %.2fx on local SSD, %.2fx on a "
+                "remote block device,\n%.2fx for REAP from a remote "
+                "object store (vs remote lazy paging).\nPer-fault "
+                "network round trips make lazy paging collapse "
+                "remotely; REAP's single\nbulk transfer preserves "
+                "most of its advantage (Sec. 7.1).\n",
+                ssd_speedups.geomean(), remote_speedups.geomean(),
+                s3_speedups.geomean());
     return 0;
 }

@@ -1,0 +1,14 @@
+#include "core/function_state.hh"
+
+namespace vhive::core {
+
+storage::FileId
+FunctionState::ensureRootfs(storage::FileStore &fs)
+{
+    if (rootfs == storage::kInvalidFile)
+        rootfs = fs.createFile(profile.name + "/rootfs",
+                               profile.rootfsImage);
+    return rootfs;
+}
+
+} // namespace vhive::core

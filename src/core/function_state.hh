@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared per-function control-plane state. Historically private to the
+ * Orchestrator; now a first-class structure so SnapshotLoaders (the
+ * cold-start strategy layer) can operate on it directly.
+ */
+
+#ifndef VHIVE_CORE_FUNCTION_STATE_HH
+#define VHIVE_CORE_FUNCTION_STATE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/monitor.hh"
+#include "core/ws_file.hh"
+#include "func/profile.hh"
+#include "mem/uffd.hh"
+#include "storage/file_store.hh"
+#include "util/units.hh"
+#include "vmm/microvm.hh"
+#include "vmm/snapshot.hh"
+
+namespace vhive::core {
+
+/** Per-function aggregate statistics. */
+struct FunctionStats
+{
+    std::int64_t coldInvocations = 0;
+    std::int64_t warmInvocations = 0;
+    std::int64_t recordPhases = 0;
+    std::int64_t rerecordsTriggered = 0;
+    std::int64_t bootInvocations = 0;
+    std::int64_t layoutRerandomizations = 0;
+};
+
+/** One live instance: VM + (optional) uffd/monitor pair. */
+struct Instance
+{
+    std::unique_ptr<vmm::MicroVm> vm;
+    std::unique_ptr<mem::UserFaultFd> uffd;
+    std::unique_ptr<Monitor> monitor;
+    bool busy = false;
+    std::int64_t residualBaseline = 0;
+    std::int64_t lastInput = -1;
+    Time lastUsedAt = 0;
+};
+
+/** Everything the control plane tracks about one deployed function. */
+struct FunctionState
+{
+    func::FunctionProfile profile;
+    vmm::SnapshotFiles snapshot;
+    storage::FileId rootfs = storage::kInvalidFile;
+    bool hasSnapshot = false;
+    storage::FileId wsFile = storage::kInvalidFile;
+    storage::FileId traceFile = storage::kInvalidFile;
+    WorkingSetRecord record;
+    bool recorded = false;
+
+    /**
+     * Whether the current record's snapshot artifacts have been staged
+     * into the remote object store (RemoteReap). Cleared whenever the
+     * record is invalidated or re-recorded.
+     */
+    bool remoteStaged = false;
+
+    std::int64_t nextInput = 0;
+    std::vector<std::unique_ptr<Instance>> instances;
+    FunctionStats stats;
+
+    /**
+     * Create the function's rootfs image file if absent (containerd
+     * generates it from the OCI image via device-mapper, Sec. 6.1).
+     * @return the rootfs file id.
+     */
+    storage::FileId ensureRootfs(storage::FileStore &fs);
+};
+
+} // namespace vhive::core
+
+#endif // VHIVE_CORE_FUNCTION_STATE_HH

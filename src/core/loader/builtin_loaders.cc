@@ -1,0 +1,311 @@
+#include "core/loader/builtin_loaders.hh"
+
+#include <algorithm>
+
+#include "mem/page_fetch.hh"
+#include "util/logging.hh"
+
+namespace vhive::core::loader {
+
+namespace {
+
+/** Copy the serve-phase results into the breakdown. */
+void
+noteServe(LatencyBreakdown &bd, const vmm::InvocationBreakdown &res)
+{
+    bd.connRestore = res.connRestore;
+    bd.processing = res.processing;
+    bd.majorFaults = res.majorFaults;
+}
+
+} // namespace
+
+// --------------------------------------------------------------- Boot
+
+sim::Task<LatencyBreakdown>
+BootLoader::load(LoadContext ctx)
+{
+    FunctionState &st = ctx.st;
+    Instance &inst = ctx.inst;
+    st.ensureRootfs(ctx.fs);
+    inst.busy = true;
+    LatencyBreakdown bd;
+    Time t0 = ctx.sim.now();
+
+    co_await inst.vm->bootFromScratch(ctx.gen.boot(st.profile),
+                                      st.rootfs,
+                                      st.profile.rootfsBootRead);
+    bd.loadVmm = ctx.sim.now() - t0; // boot replaces VMM-state load
+
+    auto res = co_await inst.vm->serveInvocation(ctx.trace,
+                                                 &ctx.objectStore);
+    noteServe(bd, res);
+    bd.total = ctx.sim.now() - t0;
+    inst.busy = false;
+    ++st.stats.bootInvocations;
+    co_return bd;
+}
+
+// ------------------------------------------------------------ Vanilla
+
+sim::Task<LatencyBreakdown>
+VanillaSnapshotLoader::load(LoadContext ctx)
+{
+    FunctionState &st = ctx.st;
+    Instance &inst = ctx.inst;
+    inst.busy = true;
+    LatencyBreakdown bd;
+    Time t0 = ctx.sim.now();
+
+    co_await inst.vm->loadVmmState(st.snapshot);
+    co_await inst.vm->resumeLazy(st.snapshot);
+    bd.loadVmm = ctx.sim.now() - t0;
+
+    auto res = co_await inst.vm->serveInvocation(ctx.trace,
+                                                 &ctx.objectStore);
+    noteServe(bd, res);
+    bd.total = ctx.sim.now() - t0;
+    inst.busy = false;
+    co_return bd;
+}
+
+// ------------------------------------------------------------- Record
+
+sim::Task<LatencyBreakdown>
+RecordLoader::load(LoadContext ctx)
+{
+    FunctionState &st = ctx.st;
+    Instance &inst = ctx.inst;
+    inst.busy = true;
+    LatencyBreakdown bd;
+    bd.recordPhase = true;
+    Time t0 = ctx.sim.now();
+
+    co_await inst.vm->loadVmmState(st.snapshot);
+
+    inst.uffd =
+        std::make_unique<mem::UserFaultFd>(ctx.sim, ctx.uffdParams);
+    inst.vm->registerUffd(st.snapshot, inst.uffd.get());
+    inst.monitor = std::make_unique<Monitor>(
+        ctx.sim, ctx.fs, *inst.uffd, inst.vm->guestMemory(),
+        st.snapshot.guestMemory, Monitor::Mode::Record);
+    ctx.sim.spawn(inst.monitor->run());
+
+    co_await inst.vm->resumeVcpus();
+    bd.loadVmm = ctx.sim.now() - t0;
+
+    auto res = co_await inst.vm->serveInvocation(ctx.trace,
+                                                 &ctx.objectStore);
+    noteServe(bd, res);
+    bd.total = ctx.sim.now() - t0;
+
+    // Post-response: persist the trace and WS files (Sec. 5.2.1).
+    st.record = inst.monitor->recorded();
+    st.recorded = true;
+    st.remoteStaged = false; // new record invalidates staged objects
+    ++st.stats.recordPhases;
+
+    Bytes ws_bytes = std::max<Bytes>(st.record.wsFileBytes(),
+                                     kPageSize);
+    Bytes trace_bytes =
+        std::max<Bytes>(TraceFileCodec::encodedSize(st.record), 1);
+    if (st.wsFile == storage::kInvalidFile) {
+        st.wsFile =
+            ctx.fs.createFile(st.profile.name + "/ws", ws_bytes);
+        st.traceFile = ctx.fs.createFile(st.profile.name + "/trace",
+                                         trace_bytes);
+    } else {
+        ctx.fs.truncate(st.wsFile, ws_bytes);
+        ctx.fs.truncate(st.traceFile, trace_bytes);
+    }
+    // The monitor already holds the page contents; write both files
+    // (buffered, with asynchronous writeback).
+    co_await ctx.fs.writeBuffered(st.wsFile, 0, ws_bytes);
+    co_await ctx.fs.writeBuffered(st.traceFile, 0, trace_bytes);
+
+    inst.busy = false;
+    co_return bd;
+}
+
+// ----------------------------------------------------- Prefetch family
+
+sim::Task<void>
+PrefetchLoader::ensureStaged(LoadContext ctx)
+{
+    (void)ctx;
+    co_return;
+}
+
+sim::Task<void>
+PrefetchLoader::preRestore(LoadContext ctx)
+{
+    (void)ctx;
+    co_return;
+}
+
+sim::Task<void>
+PrefetchLoader::installWorkingSet(LoadContext &ctx)
+{
+    FunctionState &st = ctx.st;
+    Instance &inst = ctx.inst;
+    // One UFFDIO_COPY per batch, then mark contiguous runs present.
+    co_await inst.uffd->copyCost(st.record.pageCount(),
+                                 ctx.reap.installBatchPages);
+    if (ctx.reap.rerandomizeLayout) {
+        // Sec. 7.3: rewrite guest page tables so each clone gets a
+        // fresh layout; proportional one-time install cost.
+        co_await ctx.sim.delay(ctx.reap.rerandomizePerPage *
+                               st.record.pageCount());
+        ++st.stats.layoutRerandomizations;
+    }
+    auto sorted = st.record.sortedPages();
+    size_t i = 0;
+    while (i < sorted.size()) {
+        size_t j = i + 1;
+        while (j < sorted.size() && sorted[j] == sorted[j - 1] + 1)
+            ++j;
+        inst.vm->guestMemory().installRange(
+            sorted[i], static_cast<std::int64_t>(j - i));
+        i = j;
+    }
+}
+
+sim::Task<LatencyBreakdown>
+PrefetchLoader::load(LoadContext ctx)
+{
+    FunctionState &st = ctx.st;
+    Instance &inst = ctx.inst;
+    inst.busy = true;
+    co_await ensureStaged(ctx);
+
+    LatencyBreakdown bd;
+    Time t0 = ctx.sim.now();
+
+    auto source = makeSource(ctx);
+    mem::PageFetchPipeline pipeline(ctx.sim, *source);
+    Bytes ws_bytes = st.record.wsFileBytes();
+
+    // Interleaved shapes own their fetch timing; overlapping would
+    // leave fetch_task running past this frame's lifetime.
+    bool overlap = supportsOverlap() && !interleavedInstall() &&
+                   ctx.reap.overlapFetchWithVmmLoad;
+    sim::Task<void> fetch_task;
+    if (overlap) {
+        fetch_task =
+            pipeline.fetchContiguousTimed(0, ws_bytes, &bd.fetchWs);
+        fetch_task.start(ctx.sim);
+    }
+
+    co_await preRestore(ctx);
+    co_await inst.vm->loadVmmState(st.snapshot);
+    bd.loadVmm = ctx.sim.now() - t0;
+
+    inst.uffd =
+        std::make_unique<mem::UserFaultFd>(ctx.sim, ctx.uffdParams);
+    inst.vm->registerUffd(st.snapshot, inst.uffd.get());
+
+    if (interleavedInstall()) {
+        Time f0 = ctx.sim.now();
+        co_await pipeline.fetchAndInstallPages(
+            st.record.pages, ctx.reap.parallelPfWorkers, *inst.uffd,
+            inst.vm->guestMemory());
+        bd.fetchWs = ctx.sim.now() - f0;
+    } else {
+        if (overlap)
+            co_await fetch_task;
+        else
+            co_await pipeline.fetchContiguousTimed(0, ws_bytes,
+                                                   &bd.fetchWs);
+        Time i0 = ctx.sim.now();
+        co_await installWorkingSet(ctx);
+        bd.installWs = ctx.sim.now() - i0;
+    }
+    bd.prefetchedPages = st.record.pageCount();
+
+    inst.monitor = std::make_unique<Monitor>(
+        ctx.sim, ctx.fs, *inst.uffd, inst.vm->guestMemory(),
+        st.snapshot.guestMemory, Monitor::Mode::Prefetch);
+    ctx.sim.spawn(inst.monitor->run());
+
+    std::int64_t faults0 = inst.uffd->stats().faultsDelivered;
+    co_await inst.vm->resumeVcpus();
+
+    auto res = co_await inst.vm->serveInvocation(ctx.trace,
+                                                 &ctx.objectStore);
+    noteServe(bd, res);
+    bd.residualFaults = inst.uffd->stats().faultsDelivered - faults0;
+    bd.total = ctx.sim.now() - t0;
+    inst.residualBaseline = inst.uffd->stats().faultsDelivered;
+
+    // Sec. 7.2: detect low working-set usage and re-record next time.
+    if (ctx.reap.adaptiveRerecord &&
+        static_cast<double>(bd.residualFaults) >
+            ctx.reap.rerecordThreshold *
+                static_cast<double>(st.record.pageCount())) {
+        st.recorded = false;
+        st.remoteStaged = false;
+        ++st.stats.rerecordsTriggered;
+    }
+
+    inst.busy = false;
+    co_return bd;
+}
+
+std::unique_ptr<mem::PageSource>
+ParallelPageFaultsLoader::makeSource(LoadContext &ctx) const
+{
+    // Page-sized reads of the full guest-memory image, via the cache.
+    return std::make_unique<mem::BufferedFileSource>(
+        ctx.fs, ctx.st.snapshot.guestMemory);
+}
+
+std::unique_ptr<mem::PageSource>
+WsFileCachedLoader::makeSource(LoadContext &ctx) const
+{
+    return std::make_unique<mem::BufferedFileSource>(ctx.fs,
+                                                     ctx.st.wsFile);
+}
+
+std::unique_ptr<mem::PageSource>
+ReapLoader::makeSource(LoadContext &ctx) const
+{
+    if (ctx.reap.bypassPageCache)
+        return std::make_unique<mem::DirectFileSource>(ctx.fs,
+                                                       ctx.st.wsFile);
+    return std::make_unique<mem::BufferedFileSource>(ctx.fs,
+                                                     ctx.st.wsFile);
+}
+
+// --------------------------------------------------------- RemoteReap
+
+std::unique_ptr<mem::PageSource>
+RemoteReapLoader::makeSource(LoadContext &ctx) const
+{
+    return std::make_unique<mem::RemoteObjectSource>(ctx.objectStore);
+}
+
+sim::Task<void>
+RemoteReapLoader::ensureStaged(LoadContext ctx)
+{
+    // One-time upload of the snapshot artifacts (VMM state + WS file)
+    // into the store — off the timed restore path, like snapshot
+    // creation itself (Sec. 7.1).
+    if (ctx.st.remoteStaged)
+        co_return;
+    co_await ctx.objectStore.put(ctx.vmmParams.vmmStateSize +
+                                 ctx.st.record.wsFileBytes());
+    ctx.st.remoteStaged = true;
+}
+
+sim::Task<void>
+RemoteReapLoader::preRestore(LoadContext ctx)
+{
+    // The serialized VMM/device state arrives as one bulk GET, then
+    // lands in the local state file's cache pages so the restore
+    // deserializes from memory rather than re-reading the disk.
+    co_await ctx.objectStore.get(ctx.vmmParams.vmmStateSize);
+    co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
+                                  ctx.vmmParams.vmmStateSize);
+}
+
+} // namespace vhive::core::loader

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The built-in cold-start strategies, one per ColdStartMode, plus the
+ * shared record phase. Every page-moving loader composes the
+ * mem::PageFetchPipeline over a PageSource, so the Fig. 7 design walk
+ * reads as a table of (source, shape) choices:
+ *
+ *   BootFromScratch    — no snapshot; boot from the rootfs image
+ *   VanillaSnapshot    — kernel lazy paging, per-fault disk reads
+ *   ParallelPageFaults — buffered source, strided per-page workers
+ *   WsFileCached       — buffered source, one contiguous WS read
+ *   Reap               — direct (O_DIRECT) source, one contiguous read
+ *   RemoteReap         — remote object source, bulk GETs (Sec. 7.1)
+ */
+
+#ifndef VHIVE_CORE_LOADER_BUILTIN_LOADERS_HH
+#define VHIVE_CORE_LOADER_BUILTIN_LOADERS_HH
+
+#include <memory>
+
+#include "core/loader/loader.hh"
+#include "mem/page_source.hh"
+
+namespace vhive::core::loader {
+
+/** Boot a new VM from the root filesystem (no snapshot). */
+class BootLoader final : public SnapshotLoader
+{
+  public:
+    const char *name() const override { return "boot"; }
+    bool needsSnapshot() const override { return false; }
+    Bytes
+    expectedResidency(const FunctionState &st) const override
+    {
+        return st.profile.bootFootprint;
+    }
+    sim::Task<LatencyBreakdown> load(LoadContext ctx) override;
+};
+
+/** Vanilla Firecracker snapshots: lazy kernel paging (Sec. 2.3). */
+class VanillaSnapshotLoader final : public SnapshotLoader
+{
+  public:
+    const char *name() const override { return "vanilla"; }
+    sim::Task<LatencyBreakdown> load(LoadContext ctx) override;
+};
+
+/**
+ * The record phase (Sec. 5.2.1): first REAP-family cold start runs
+ * with a recording monitor, then persists the trace and WS files.
+ * Shared by every needsRecord() mode via the registry.
+ */
+class RecordLoader final : public SnapshotLoader
+{
+  public:
+    const char *name() const override { return "record"; }
+    sim::Task<LatencyBreakdown> load(LoadContext ctx) override;
+};
+
+/**
+ * Common skeleton of the prefetching modes: restore VMM state
+ * (optionally overlapped with the WS fetch), move the recorded pages
+ * through a PageFetchPipeline, install them eagerly, then resume with
+ * a prefetch-mode monitor serving residual faults. Subclasses pick the
+ * PageSource and the fetch shape.
+ */
+class PrefetchLoader : public SnapshotLoader
+{
+  public:
+    bool needsRecord() const override { return true; }
+    sim::Task<LatencyBreakdown> load(LoadContext ctx) override;
+
+  protected:
+    /** Source the working-set bytes are fetched from. */
+    virtual std::unique_ptr<mem::PageSource>
+    makeSource(LoadContext &ctx) const = 0;
+
+    /**
+     * True: strided per-page fetch+install (ParallelPageFaults).
+     * False: one contiguous fetch, then a batched eager install.
+     */
+    virtual bool interleavedInstall() const { return false; }
+
+    /** Whether the WS fetch may overlap the VMM-state load. */
+    virtual bool supportsOverlap() const { return false; }
+
+    /**
+     * One-time staging before timing starts (RemoteReap uploads the
+     * snapshot artifacts to the object store). Default: no-op.
+     */
+    virtual sim::Task<void> ensureStaged(LoadContext ctx);
+
+    /**
+     * Work on the restore critical path before the local VMM-state
+     * load (RemoteReap downloads the state object). Default: no-op.
+     */
+    virtual sim::Task<void> preRestore(LoadContext ctx);
+
+  private:
+    /** Batched UFFDIO_COPY install of the recorded set. */
+    sim::Task<void> installWorkingSet(LoadContext &ctx);
+};
+
+/**
+ * Fig. 7 design point 2: trace-directed parallel page-sized reads of
+ * the guest-memory snapshot image (the trace file supplies the page
+ * list; the bytes come from the memory image).
+ */
+class ParallelPageFaultsLoader final : public PrefetchLoader
+{
+  public:
+    const char *name() const override { return "parallel-pf"; }
+
+  protected:
+    std::unique_ptr<mem::PageSource>
+    makeSource(LoadContext &ctx) const override;
+    bool interleavedInstall() const override { return true; }
+};
+
+/** Fig. 7 design point 3: one buffered WS-file read via the cache. */
+class WsFileCachedLoader final : public PrefetchLoader
+{
+  public:
+    const char *name() const override { return "ws-file"; }
+
+  protected:
+    std::unique_ptr<mem::PageSource>
+    makeSource(LoadContext &ctx) const override;
+};
+
+/** Full REAP: single O_DIRECT WS read + eager install (Sec. 5.2.3). */
+class ReapLoader final : public PrefetchLoader
+{
+  public:
+    const char *name() const override { return "reap"; }
+
+  protected:
+    std::unique_ptr<mem::PageSource>
+    makeSource(LoadContext &ctx) const override;
+    bool supportsOverlap() const override { return true; }
+};
+
+/**
+ * Sec. 7.1: REAP with snapshot artifacts in remote object storage.
+ * The VMM state and WS file arrive as bulk GETs; the first use stages
+ * the artifacts into the store (off the timed path).
+ */
+class RemoteReapLoader final : public PrefetchLoader
+{
+  public:
+    const char *name() const override { return "reap-remote"; }
+
+  protected:
+    std::unique_ptr<mem::PageSource>
+    makeSource(LoadContext &ctx) const override;
+    bool supportsOverlap() const override { return true; }
+    sim::Task<void> ensureStaged(LoadContext ctx) override;
+    sim::Task<void> preRestore(LoadContext ctx) override;
+};
+
+} // namespace vhive::core::loader
+
+#endif // VHIVE_CORE_LOADER_BUILTIN_LOADERS_HH

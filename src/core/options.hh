@@ -40,10 +40,41 @@ enum class ColdStartMode
 
     /** Full REAP: single O_DIRECT WS-file read + eager install. */
     Reap,
+
+    /**
+     * Sec. 7.1: REAP with the snapshot artifacts held in remote
+     * disaggregated object storage. The VMM state and WS file arrive
+     * as bulk object GETs over the datacenter network instead of local
+     * disk reads; residual faults are still served locally from the
+     * guest-memory snapshot image.
+     */
+    RemoteReap,
 };
 
 /** Human-readable mode name. */
 const char *coldStartModeName(ColdStartMode mode);
+
+/** Per-invocation options. */
+struct InvokeOptions
+{
+    /** Keep the instance warm after the invocation. */
+    bool keepWarm = false;
+
+    /** Start a fresh instance even if a warm one exists. */
+    bool forceCold = false;
+
+    /**
+     * Input selector; -1 draws the next input in sequence.
+     * Distinct ids model distinct inputs (Sec. 4.4).
+     */
+    std::int64_t inputId = -1;
+
+    /**
+     * Flush the host page cache first — the paper's cold-start
+     * methodology (Sec. 4.1) simulating long inter-invocation gaps.
+     */
+    bool flushPageCache = false;
+};
 
 /** REAP mechanism knobs (ablation points; defaults match the paper). */
 struct ReapOptions

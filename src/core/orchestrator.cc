@@ -1,7 +1,5 @@
 #include "core/orchestrator.hh"
 
-#include <algorithm>
-
 #include "util/logging.hh"
 
 namespace vhive::core {
@@ -15,6 +13,7 @@ coldStartModeName(ColdStartMode mode)
       case ColdStartMode::ParallelPageFaults: return "parallel-pf";
       case ColdStartMode::WsFileCached: return "ws-file";
       case ColdStartMode::Reap: return "reap";
+      case ColdStartMode::RemoteReap: return "reap-remote";
     }
     return "?";
 }
@@ -49,7 +48,7 @@ Orchestrator::hasFunction(const std::string &name) const
     return functions.count(name) > 0;
 }
 
-Orchestrator::FunctionState &
+FunctionState &
 Orchestrator::state(const std::string &name)
 {
     auto it = functions.find(name);
@@ -58,7 +57,7 @@ Orchestrator::state(const std::string &name)
     return it->second;
 }
 
-const Orchestrator::FunctionState &
+const FunctionState &
 Orchestrator::state(const std::string &name) const
 {
     auto it = functions.find(name);
@@ -67,24 +66,13 @@ Orchestrator::state(const std::string &name) const
     return it->second;
 }
 
-void
-Orchestrator::ensureRootfs(FunctionState &st)
-{
-    if (st.rootfs == storage::kInvalidFile) {
-        // Containerd generates the root filesystem from the OCI image
-        // via device-mapper (Sec. 6.1).
-        st.rootfs = fs.createFile(st.profile.name + "/rootfs",
-                                  st.profile.rootfsImage);
-    }
-}
-
 sim::Task<void>
 Orchestrator::prepareSnapshot(const std::string &name)
 {
     FunctionState &st = state(name);
     if (st.hasSnapshot)
         co_return;
-    ensureRootfs(st);
+    st.ensureRootfs(fs);
     st.snapshot.vmmState =
         fs.createFile(name + "/vmm_state", vmmParams.vmmStateSize);
     st.snapshot.guestMemory =
@@ -108,7 +96,7 @@ Orchestrator::pickInput(FunctionState &st, const InvokeOptions &opts)
     return st.nextInput++;
 }
 
-Orchestrator::Instance &
+Instance &
 Orchestrator::createInstance(FunctionState &st)
 {
     st.instances.push_back(std::make_unique<Instance>());
@@ -151,43 +139,30 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
     std::int64_t input = pickInput(st, opts);
     func::InvocationTrace trace = gen.invocation(st.profile, input);
 
-    // Cold start: control-plane handling (CRI request, bookkeeping).
+    // Cold start: control-plane handling (CRI request, bookkeeping),
+    // then dispatch to the strategy registered for the mode.
     co_await orchCpus.exec(kControlPlaneCost);
 
-    if (memoryCapacity > 0) {
-        // Expected residency of the new instance: its working set
-        // (restore paths) or boot footprint (boot path).
-        Bytes expected = mode == ColdStartMode::BootFromScratch
-                             ? st.profile.bootFootprint
-                             : st.profile.workingSet;
-        co_await makeRoom(expected);
-    }
+    loader::SnapshotLoader &ld = _loaders.loaderFor(mode);
 
-    LatencyBreakdown bd;
+    if (memoryCapacity > 0)
+        co_await makeRoom(ld.expectedResidency(st));
+
+    if (ld.needsSnapshot() && !st.hasSnapshot)
+        fatal("%s: no snapshot; call prepareSnapshot first",
+              name.c_str());
+
     Instance &inst = createInstance(st);
     inst.lastInput = input;
-    switch (mode) {
-      case ColdStartMode::BootFromScratch:
-        bd = co_await coldBoot(st, inst, trace, opts);
-        break;
-      case ColdStartMode::VanillaSnapshot:
-        if (!st.hasSnapshot)
-            fatal("%s: no snapshot; call prepareSnapshot first",
-                  name.c_str());
-        bd = co_await coldVanilla(st, inst, trace, opts);
-        break;
-      case ColdStartMode::ParallelPageFaults:
-      case ColdStartMode::WsFileCached:
-      case ColdStartMode::Reap:
-        if (!st.hasSnapshot)
-            fatal("%s: no snapshot; call prepareSnapshot first",
-                  name.c_str());
-        if (!st.recorded)
-            bd = co_await coldRecord(st, inst, trace, opts);
-        else
-            bd = co_await coldPrefetch(st, inst, mode, trace, opts);
-        break;
-    }
+    loader::LoadContext ctx{sim,        fs,    hostCpus, objectStore,
+                            gen,        vmmParams, reap, uffdParams,
+                            st,         inst,  trace,    opts};
+
+    LatencyBreakdown bd;
+    if (ld.needsRecord() && !st.recorded)
+        bd = co_await _loaders.recordLoader().load(ctx);
+    else
+        bd = co_await ld.load(ctx);
 
     ++st.stats.coldInvocations;
     bd.cold = true;
@@ -220,253 +195,6 @@ Orchestrator::invokeWarm(FunctionState &st,
     inst.lastUsedAt = sim.now();
     ++st.stats.warmInvocations;
     co_return bd;
-}
-
-sim::Task<LatencyBreakdown>
-Orchestrator::coldBoot(FunctionState &st, Instance &inst,
-                       const func::InvocationTrace &trace,
-                       const InvokeOptions &opts)
-{
-    (void)opts;
-    ensureRootfs(st);
-    inst.busy = true;
-    LatencyBreakdown bd;
-    Time t0 = sim.now();
-
-    co_await inst.vm->bootFromScratch(gen.boot(st.profile), st.rootfs,
-                                      st.profile.rootfsBootRead);
-    bd.loadVmm = sim.now() - t0; // boot replaces VMM-state load
-
-    auto res = co_await inst.vm->serveInvocation(trace, &objectStore);
-    bd.connRestore = res.connRestore;
-    bd.processing = res.processing;
-    bd.majorFaults = res.majorFaults;
-    bd.total = sim.now() - t0;
-    inst.busy = false;
-    ++st.stats.bootInvocations;
-    co_return bd;
-}
-
-sim::Task<LatencyBreakdown>
-Orchestrator::coldVanilla(FunctionState &st, Instance &inst,
-                          const func::InvocationTrace &trace,
-                          const InvokeOptions &opts)
-{
-    (void)opts;
-    inst.busy = true;
-    LatencyBreakdown bd;
-    Time t0 = sim.now();
-
-    co_await inst.vm->loadVmmState(st.snapshot);
-    co_await inst.vm->resumeLazy(st.snapshot);
-    bd.loadVmm = sim.now() - t0;
-
-    auto res = co_await inst.vm->serveInvocation(trace, &objectStore);
-    bd.connRestore = res.connRestore;
-    bd.processing = res.processing;
-    bd.majorFaults = res.majorFaults;
-    bd.total = sim.now() - t0;
-    inst.busy = false;
-    co_return bd;
-}
-
-sim::Task<LatencyBreakdown>
-Orchestrator::coldRecord(FunctionState &st, Instance &inst,
-                         const func::InvocationTrace &trace,
-                         const InvokeOptions &opts)
-{
-    (void)opts;
-    inst.busy = true;
-    LatencyBreakdown bd;
-    bd.recordPhase = true;
-    Time t0 = sim.now();
-
-    co_await inst.vm->loadVmmState(st.snapshot);
-
-    inst.uffd = std::make_unique<mem::UserFaultFd>(sim, uffdParams);
-    inst.vm->registerUffd(st.snapshot, inst.uffd.get());
-    inst.monitor = std::make_unique<Monitor>(
-        sim, fs, *inst.uffd, inst.vm->guestMemory(),
-        st.snapshot.guestMemory, Monitor::Mode::Record);
-    sim.spawn(inst.monitor->run());
-
-    co_await inst.vm->resumeVcpus();
-    bd.loadVmm = sim.now() - t0;
-
-    auto res = co_await inst.vm->serveInvocation(trace, &objectStore);
-    bd.connRestore = res.connRestore;
-    bd.processing = res.processing;
-    bd.majorFaults = res.majorFaults;
-    bd.total = sim.now() - t0;
-
-    // Post-response: persist the trace and WS files (Sec. 5.2.1).
-    st.record = inst.monitor->recorded();
-    st.recorded = true;
-    ++st.stats.recordPhases;
-    co_await finalizeRecord(st, st.record);
-
-    inst.busy = false;
-    co_return bd;
-}
-
-sim::Task<void>
-Orchestrator::fetchWorkingSet(FunctionState &st, ColdStartMode mode,
-                              Duration *out)
-{
-    VHIVE_ASSERT(st.wsFile != storage::kInvalidFile);
-    Bytes bytes = st.record.wsFileBytes();
-    Time t0 = sim.now();
-    if (mode == ColdStartMode::Reap && reap.bypassPageCache)
-        co_await fs.readDirect(st.wsFile, 0, bytes);
-    else
-        co_await fs.readBuffered(st.wsFile, 0, bytes);
-    if (out != nullptr)
-        *out = sim.now() - t0;
-}
-
-sim::Task<void>
-Orchestrator::installWorkingSet(FunctionState &st, Instance &inst)
-{
-    // One UFFDIO_COPY per batch, then mark contiguous runs present.
-    co_await inst.uffd->copyCost(st.record.pageCount(),
-                                 reap.installBatchPages);
-    if (reap.rerandomizeLayout) {
-        // Sec. 7.3: rewrite guest page tables so each clone gets a
-        // fresh layout; proportional one-time install cost.
-        co_await sim.delay(reap.rerandomizePerPage *
-                           st.record.pageCount());
-        ++st.stats.layoutRerandomizations;
-    }
-    auto sorted = st.record.sortedPages();
-    size_t i = 0;
-    while (i < sorted.size()) {
-        size_t j = i + 1;
-        while (j < sorted.size() && sorted[j] == sorted[j - 1] + 1)
-            ++j;
-        inst.vm->guestMemory().installRange(
-            sorted[i], static_cast<std::int64_t>(j - i));
-        i = j;
-    }
-}
-
-sim::Task<void>
-Orchestrator::parallelFetchWorker(FunctionState &st, Instance &inst,
-                                  size_t begin, size_t stride,
-                                  sim::Latch *done)
-{
-    const auto &pages = st.record.pages;
-    for (size_t i = begin; i < pages.size(); i += stride) {
-        co_await fs.readBuffered(st.snapshot.guestMemory,
-                                 bytesForPages(pages[i]), kPageSize);
-        co_await inst.uffd->copyCost(1, 1);
-        inst.vm->guestMemory().installRange(pages[i], 1);
-    }
-    done->arrive();
-}
-
-sim::Task<void>
-Orchestrator::parallelFetchInstall(FunctionState &st, Instance &inst)
-{
-    int workers = std::max(1, reap.parallelPfWorkers);
-    sim::Latch done(sim, workers);
-    for (int w = 0; w < workers; ++w) {
-        sim.spawn(parallelFetchWorker(st, inst,
-                                      static_cast<size_t>(w),
-                                      static_cast<size_t>(workers),
-                                      &done));
-    }
-    co_await done.wait();
-}
-
-sim::Task<LatencyBreakdown>
-Orchestrator::coldPrefetch(FunctionState &st, Instance &inst,
-                           ColdStartMode mode,
-                           const func::InvocationTrace &trace,
-                           const InvokeOptions &opts)
-{
-    (void)opts;
-    inst.busy = true;
-    LatencyBreakdown bd;
-    Time t0 = sim.now();
-
-    bool overlap = mode == ColdStartMode::Reap &&
-                   reap.overlapFetchWithVmmLoad;
-    sim::Task<void> fetch_task;
-    if (overlap) {
-        fetch_task = fetchWorkingSet(st, mode, &bd.fetchWs);
-        fetch_task.start(sim);
-    }
-
-    co_await inst.vm->loadVmmState(st.snapshot);
-    bd.loadVmm = sim.now() - t0;
-
-    inst.uffd = std::make_unique<mem::UserFaultFd>(sim, uffdParams);
-    inst.vm->registerUffd(st.snapshot, inst.uffd.get());
-
-    if (mode == ColdStartMode::ParallelPageFaults) {
-        Time f0 = sim.now();
-        co_await parallelFetchInstall(st, inst);
-        bd.fetchWs = sim.now() - f0;
-    } else {
-        if (overlap)
-            co_await fetch_task;
-        else
-            co_await fetchWorkingSet(st, mode, &bd.fetchWs);
-        Time i0 = sim.now();
-        co_await installWorkingSet(st, inst);
-        bd.installWs = sim.now() - i0;
-    }
-    bd.prefetchedPages = st.record.pageCount();
-
-    inst.monitor = std::make_unique<Monitor>(
-        sim, fs, *inst.uffd, inst.vm->guestMemory(),
-        st.snapshot.guestMemory, Monitor::Mode::Prefetch);
-    sim.spawn(inst.monitor->run());
-
-    std::int64_t faults0 = inst.uffd->stats().faultsDelivered;
-    co_await inst.vm->resumeVcpus();
-
-    auto res = co_await inst.vm->serveInvocation(trace, &objectStore);
-    bd.connRestore = res.connRestore;
-    bd.processing = res.processing;
-    bd.majorFaults = res.majorFaults;
-    bd.residualFaults =
-        inst.uffd->stats().faultsDelivered - faults0;
-    bd.total = sim.now() - t0;
-    inst.residualBaseline = inst.uffd->stats().faultsDelivered;
-
-    // Sec. 7.2: detect low working-set usage and re-record next time.
-    if (reap.adaptiveRerecord &&
-        static_cast<double>(bd.residualFaults) >
-            reap.rerecordThreshold *
-                static_cast<double>(st.record.pageCount())) {
-        st.recorded = false;
-        ++st.stats.rerecordsTriggered;
-    }
-
-    inst.busy = false;
-    co_return bd;
-}
-
-sim::Task<void>
-Orchestrator::finalizeRecord(FunctionState &st,
-                             const WorkingSetRecord &rec)
-{
-    Bytes ws_bytes = std::max<Bytes>(rec.wsFileBytes(), kPageSize);
-    Bytes trace_bytes =
-        std::max<Bytes>(TraceFileCodec::encodedSize(rec), 1);
-    if (st.wsFile == storage::kInvalidFile) {
-        st.wsFile = fs.createFile(st.profile.name + "/ws", ws_bytes);
-        st.traceFile =
-            fs.createFile(st.profile.name + "/trace", trace_bytes);
-    } else {
-        fs.truncate(st.wsFile, ws_bytes);
-        fs.truncate(st.traceFile, trace_bytes);
-    }
-    // The monitor already holds the page contents; write both files
-    // (buffered, with asynchronous writeback).
-    co_await fs.writeBuffered(st.wsFile, 0, ws_bytes);
-    co_await fs.writeBuffered(st.traceFile, 0, trace_bytes);
 }
 
 sim::Task<void>
@@ -578,7 +306,9 @@ Orchestrator::record(const std::string &name) const
 void
 Orchestrator::invalidateRecord(const std::string &name)
 {
-    state(name).recorded = false;
+    FunctionState &st = state(name);
+    st.recorded = false;
+    st.remoteStaged = false;
 }
 
 const FunctionStats &

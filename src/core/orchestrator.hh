@@ -3,9 +3,11 @@
  * The vHive-CRI orchestrator (Sec. 3.2, 5.2): controls the lifecycle
  * of all function instances on one worker, acts as the data-plane
  * router holding persistent gRPC connections to instances (the AWS
- * MicroManager role, Sec. 4.1), maintains snapshot/working-set files,
- * and implements REAP's record and prefetch phases with a dedicated
- * monitor task per instance.
+ * MicroManager role, Sec. 4.1), and routes cold starts to the
+ * SnapshotLoader registered for the requested mode. The cold-start
+ * strategies themselves live in core/loader/ — the orchestrator only
+ * does admission, warm routing, loader dispatch, and instance
+ * lifecycle.
  */
 
 #ifndef VHIVE_CORE_ORCHESTRATOR_HH
@@ -17,7 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "core/monitor.hh"
+#include "core/function_state.hh"
+#include "core/loader/loader.hh"
 #include "core/options.hh"
 #include "core/ws_file.hh"
 #include "func/profile.hh"
@@ -32,39 +35,6 @@
 #include "vmm/snapshot.hh"
 
 namespace vhive::core {
-
-/** Per-function aggregate statistics. */
-struct FunctionStats
-{
-    std::int64_t coldInvocations = 0;
-    std::int64_t warmInvocations = 0;
-    std::int64_t recordPhases = 0;
-    std::int64_t rerecordsTriggered = 0;
-    std::int64_t bootInvocations = 0;
-    std::int64_t layoutRerandomizations = 0;
-};
-
-/** Per-invocation options. */
-struct InvokeOptions
-{
-    /** Keep the instance warm after the invocation. */
-    bool keepWarm = false;
-
-    /** Start a fresh instance even if a warm one exists. */
-    bool forceCold = false;
-
-    /**
-     * Input selector; -1 draws the next input in sequence.
-     * Distinct ids model distinct inputs (Sec. 4.4).
-     */
-    std::int64_t inputId = -1;
-
-    /**
-     * Flush the host page cache first — the paper's cold-start
-     * methodology (Sec. 4.1) simulating long inter-invocation gaps.
-     */
-    bool flushPageCache = false;
-};
 
 /**
  * Orchestrates function instances on a single worker host.
@@ -109,9 +79,10 @@ class Orchestrator
 
     /**
      * Serve one invocation of @p name. Routes to an idle warm instance
-     * when possible, otherwise performs a cold start in @p mode. When
-     * a REAP-family mode lacks a recorded working set, this invocation
-     * becomes the record phase (Sec. 5.2.1).
+     * when possible, otherwise dispatches the SnapshotLoader registered
+     * for @p mode. When a record-requiring mode lacks a recorded
+     * working set, this invocation becomes the record phase
+     * (Sec. 5.2.1).
      */
     sim::Task<LatencyBreakdown> invoke(const std::string &name,
                                        ColdStartMode mode,
@@ -154,34 +125,14 @@ class Orchestrator
     const ReapOptions &reapOptions() const { return reap; }
     ReapOptions &reapOptions() { return reap; }
 
+    /**
+     * The cold-start strategy registry — the extension point: swap a
+     * built-in loader or install one for a new mode here.
+     */
+    loader::LoaderRegistry &loaders() { return _loaders; }
+    const loader::LoaderRegistry &loaders() const { return _loaders; }
+
   private:
-    /** One live instance: VM + (optional) uffd/monitor pair. */
-    struct Instance
-    {
-        std::unique_ptr<vmm::MicroVm> vm;
-        std::unique_ptr<mem::UserFaultFd> uffd;
-        std::unique_ptr<Monitor> monitor;
-        bool busy = false;
-        std::int64_t residualBaseline = 0;
-        std::int64_t lastInput = -1;
-        Time lastUsedAt = 0;
-    };
-
-    struct FunctionState
-    {
-        func::FunctionProfile profile;
-        vmm::SnapshotFiles snapshot;
-        storage::FileId rootfs = storage::kInvalidFile;
-        bool hasSnapshot = false;
-        storage::FileId wsFile = storage::kInvalidFile;
-        storage::FileId traceFile = storage::kInvalidFile;
-        WorkingSetRecord record;
-        bool recorded = false;
-        std::int64_t nextInput = 0;
-        std::vector<std::unique_ptr<Instance>> instances;
-        FunctionStats stats;
-    };
-
     FunctionState &state(const std::string &name);
     const FunctionState &state(const std::string &name) const;
 
@@ -192,48 +143,6 @@ class Orchestrator
     invokeWarm(FunctionState &st, Instance &inst,
                const func::InvocationTrace &trace);
 
-    sim::Task<LatencyBreakdown>
-    coldBoot(FunctionState &st, Instance &inst,
-             const func::InvocationTrace &trace,
-             const InvokeOptions &opts);
-
-    sim::Task<LatencyBreakdown>
-    coldVanilla(FunctionState &st, Instance &inst,
-                const func::InvocationTrace &trace,
-                const InvokeOptions &opts);
-
-    sim::Task<LatencyBreakdown>
-    coldRecord(FunctionState &st, Instance &inst,
-               const func::InvocationTrace &trace,
-               const InvokeOptions &opts);
-
-    sim::Task<LatencyBreakdown>
-    coldPrefetch(FunctionState &st, Instance &inst, ColdStartMode mode,
-                 const func::InvocationTrace &trace,
-                 const InvokeOptions &opts);
-
-    /** Fetch the WS file (mode-dependent path); *out = fetch time. */
-    sim::Task<void> fetchWorkingSet(FunctionState &st,
-                                    ColdStartMode mode, Duration *out);
-
-    /** Eagerly install the recorded set into @p inst's guest memory. */
-    sim::Task<void> installWorkingSet(FunctionState &st,
-                                      Instance &inst);
-
-    /** ParallelPageFaults design point: worker-based page fetch. */
-    sim::Task<void> parallelFetchInstall(FunctionState &st,
-                                         Instance &inst);
-
-    /** One ParallelPageFaults worker: strided slice of the record. */
-    sim::Task<void> parallelFetchWorker(FunctionState &st,
-                                        Instance &inst, size_t begin,
-                                        size_t stride,
-                                        sim::Latch *done);
-
-    /** Persist trace + WS files after a record phase. */
-    sim::Task<void> finalizeRecord(FunctionState &st,
-                                   const WorkingSetRecord &rec);
-
     /** Retire one instance (stop monitor, destroy VM). */
     sim::Task<void> stopInstance(FunctionState &st, size_t index);
 
@@ -243,9 +152,6 @@ class Orchestrator
 
     /** Allocate a fresh Instance slot for @p st. */
     Instance &createInstance(FunctionState &st);
-
-    /** Create the function's rootfs image file if absent. */
-    void ensureRootfs(FunctionState &st);
 
     /**
      * Evict LRU idle instances until @p needed more bytes fit under
@@ -263,6 +169,7 @@ class Orchestrator
     vmm::VmmParams vmmParams;
     ReapOptions reap;
     mem::UffdParams uffdParams;
+    loader::LoaderRegistry _loaders;
     std::map<std::string, FunctionState> functions;
     Bytes memoryCapacity = 0;
     std::int64_t _capacityEvictions = 0;

@@ -1,4 +1,13 @@
 #include "host/cpu_pool.hh"
 
-// CpuPool is header-only today; this TU anchors the library target and
-// keeps a stable home for future out-of-line additions.
+namespace vhive::host {
+
+sim::Task<void>
+CpuPool::exec(Duration cpu_time)
+{
+    co_await sem.acquire();
+    sim::SemaphoreGuard guard(sem);
+    co_await sim.delay(cpu_time);
+}
+
+} // namespace vhive::host

@@ -32,13 +32,7 @@ class CpuPool
     CpuPool &operator=(const CpuPool &) = delete;
 
     /** Run @p cpu_time of work on one core (queueing if none free). */
-    sim::Task<void>
-    exec(Duration cpu_time)
-    {
-        co_await sem.acquire();
-        sim::SemaphoreGuard guard(sem);
-        co_await sim.delay(cpu_time);
-    }
+    sim::Task<void> exec(Duration cpu_time);
 
     /** Total cores in the pool. */
     int cores() const { return _cores; }

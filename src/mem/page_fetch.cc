@@ -1,0 +1,59 @@
+#include "mem/page_fetch.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vhive::mem {
+
+sim::Task<void>
+PageFetchPipeline::fetchContiguous(Bytes offset, Bytes len)
+{
+    co_await fetchContiguousTimed(offset, len, nullptr);
+}
+
+sim::Task<void>
+PageFetchPipeline::fetchContiguousTimed(Bytes offset, Bytes len,
+                                        Duration *out)
+{
+    ++_stats.contiguousFetches;
+    _stats.bytesFetched += len;
+    Time t0 = sim.now();
+    co_await source.read(offset, len);
+    if (out != nullptr)
+        *out = sim.now() - t0;
+}
+
+sim::Task<void>
+PageFetchPipeline::pageWorker(const std::vector<std::int64_t> &pages,
+                              size_t begin, size_t stride,
+                              UserFaultFd &uffd, GuestMemory &guest,
+                              sim::Latch *done)
+{
+    for (size_t i = begin; i < pages.size(); i += stride) {
+        co_await source.read(bytesForPages(pages[i]), kPageSize);
+        co_await uffd.copyCost(1, 1);
+        guest.installRange(pages[i], 1);
+    }
+    done->arrive();
+}
+
+sim::Task<void>
+PageFetchPipeline::fetchAndInstallPages(
+    const std::vector<std::int64_t> &pages, int workers,
+    UserFaultFd &uffd, GuestMemory &guest)
+{
+    workers = std::max(1, workers);
+    _stats.pageFetches += static_cast<std::int64_t>(pages.size());
+    _stats.bytesFetched +=
+        bytesForPages(static_cast<std::int64_t>(pages.size()));
+    sim::Latch done(sim, workers);
+    for (int w = 0; w < workers; ++w) {
+        sim.spawn(pageWorker(pages, static_cast<size_t>(w),
+                             static_cast<size_t>(workers), uffd, guest,
+                             &done));
+    }
+    co_await done.wait();
+}
+
+} // namespace vhive::mem

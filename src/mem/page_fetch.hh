@@ -1,0 +1,95 @@
+/**
+ * @file
+ * PageFetchPipeline: the one place snapshot pages move through on the
+ * way into guest memory. A pipeline binds a PageSource to a fetch
+ * shape:
+ *
+ *  - fetchContiguous(): one bulk read of a contiguous range (REAP's
+ *    single WS-file read, the WS-file page-cached fetch, or a remote
+ *    bulk GET).
+ *  - fetchAndInstallPages(): N strided workers issuing page-sized
+ *    reads and installing each page via UFFDIO_COPY as it lands (the
+ *    ParallelPageFaults design point, Sec. 5.2 / Fig. 7).
+ *
+ * Loaders pick a source + shape instead of open-coding I/O, so a new
+ * cold-start design point is a new composition, not orchestrator
+ * surgery.
+ */
+
+#ifndef VHIVE_MEM_PAGE_FETCH_HH
+#define VHIVE_MEM_PAGE_FETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/guest_memory.hh"
+#include "mem/page_source.hh"
+#include "mem/uffd.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::mem {
+
+/** Pipeline accounting, readable by loaders and benches. */
+struct PageFetchStats
+{
+    std::int64_t contiguousFetches = 0;
+    std::int64_t pageFetches = 0;
+    Bytes bytesFetched = 0;
+};
+
+/**
+ * Moves ranges of a PageSource toward guest memory in a chosen shape.
+ * A pipeline is cheap to construct per cold start.
+ */
+class PageFetchPipeline
+{
+  public:
+    PageFetchPipeline(sim::Simulation &sim, PageSource &source)
+        : sim(sim), source(source)
+    {
+    }
+
+    PageFetchPipeline(const PageFetchPipeline &) = delete;
+    PageFetchPipeline &operator=(const PageFetchPipeline &) = delete;
+
+    /** One bulk read of [offset, offset+len). */
+    sim::Task<void> fetchContiguous(Bytes offset, Bytes len);
+
+    /**
+     * Timed variant: *out (when non-null) receives the elapsed fetch
+     * time, measured from first byte requested to last byte landed —
+     * usable from an overlapped task whose caller cannot time it.
+     */
+    sim::Task<void> fetchContiguousTimed(Bytes offset, Bytes len,
+                                         Duration *out);
+
+    /**
+     * ParallelPageFaults shape: @p workers strided tasks issue one
+     * page-sized source read per entry of @p pages, pay the
+     * UFFDIO_COPY cost, and mark the page present in @p guest.
+     */
+    sim::Task<void>
+    fetchAndInstallPages(const std::vector<std::int64_t> &pages,
+                         int workers, UserFaultFd &uffd,
+                         GuestMemory &guest);
+
+    const PageFetchStats &stats() const { return _stats; }
+
+  private:
+    /** One strided worker of fetchAndInstallPages. */
+    sim::Task<void>
+    pageWorker(const std::vector<std::int64_t> &pages, size_t begin,
+               size_t stride, UserFaultFd &uffd, GuestMemory &guest,
+               sim::Latch *done);
+
+    sim::Simulation &sim;
+    PageSource &source;
+    PageFetchStats _stats;
+};
+
+} // namespace vhive::mem
+
+#endif // VHIVE_MEM_PAGE_FETCH_HH

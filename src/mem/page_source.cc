@@ -1,0 +1,25 @@
+#include "mem/page_source.hh"
+
+namespace vhive::mem {
+
+sim::Task<void>
+BufferedFileSource::read(Bytes offset, Bytes len)
+{
+    co_await fs.readBuffered(file, offset, len);
+}
+
+sim::Task<void>
+DirectFileSource::read(Bytes offset, Bytes len)
+{
+    co_await fs.readDirect(file, offset, len);
+}
+
+sim::Task<void>
+RemoteObjectSource::read(Bytes offset, Bytes len)
+{
+    // Ranged GET: the store prices requests by size, not position.
+    (void)offset;
+    co_await store.get(len);
+}
+
+} // namespace vhive::mem

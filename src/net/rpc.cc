@@ -1,3 +1,24 @@
 #include "net/rpc.hh"
 
-// RpcConnection is header-only today; this TU anchors the library.
+namespace vhive::net {
+
+sim::Task<void>
+RpcConnection::restoreSession()
+{
+    co_await sim.delay(_params.connectionHandshake);
+    _established = true;
+}
+
+sim::Task<void>
+RpcConnection::sendRequest()
+{
+    co_await sim.delay(_params.requestLatency);
+}
+
+sim::Task<void>
+RpcConnection::sendResponse()
+{
+    co_await sim.delay(_params.responseLatency);
+}
+
+} // namespace vhive::net

@@ -46,26 +46,13 @@ class RpcConnection
     }
 
     /** Wire cost of restoring the session (guest faults excluded). */
-    sim::Task<void>
-    restoreSession()
-    {
-        co_await sim.delay(_params.connectionHandshake);
-        _established = true;
-    }
+    sim::Task<void> restoreSession();
 
     /** Deliver a request to the guest server. */
-    sim::Task<void>
-    sendRequest()
-    {
-        co_await sim.delay(_params.requestLatency);
-    }
+    sim::Task<void> sendRequest();
 
     /** Deliver the response back to the data-plane router. */
-    sim::Task<void>
-    sendResponse()
-    {
-        co_await sim.delay(_params.responseLatency);
-    }
+    sim::Task<void> sendResponse();
 
     bool established() const { return _established; }
     void reset() { _established = false; }

@@ -81,6 +81,103 @@ TEST(TraceCodec, DetectsCorruption)
     EXPECT_FALSE(TraceFileCodec::decode(bad_magic).has_value());
 }
 
+namespace {
+
+/** Recompute and overwrite the trailing CRC of an encoded buffer. */
+void
+refreshCrc(std::vector<std::uint8_t> &bytes)
+{
+    ASSERT_GE(bytes.size(), 4u);
+    std::uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
+    for (int i = 0; i < 4; ++i)
+        bytes[bytes.size() - 4 + static_cast<size_t>(i)] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+}
+
+} // namespace
+
+TEST(TraceCodec, RejectsBadMagic)
+{
+    WorkingSetRecord r;
+    r.pages = {1, 2, 3};
+    auto bytes = TraceFileCodec::encode(r);
+    // Corrupt the magic but keep the CRC valid, so the rejection can
+    // only come from the magic check itself.
+    bytes[0] = 'X';
+    refreshCrc(bytes);
+    EXPECT_FALSE(TraceFileCodec::decode(bytes).has_value());
+}
+
+TEST(TraceCodec, RejectsBadVersion)
+{
+    WorkingSetRecord r;
+    r.pages = {1, 2, 3};
+    auto bytes = TraceFileCodec::encode(r);
+    // The format version is the trailing magic byte ('1'). Bump it
+    // with a valid CRC: still rejected.
+    bytes[7] = '2';
+    refreshCrc(bytes);
+    EXPECT_FALSE(TraceFileCodec::decode(bytes).has_value());
+}
+
+TEST(TraceCodec, RejectsCrcMismatch)
+{
+    WorkingSetRecord r;
+    r.pages = {4, 9, 12, 40};
+    auto bytes = TraceFileCodec::encode(r);
+    bytes.back() ^= 0xff; // corrupt the stored CRC itself
+    EXPECT_FALSE(TraceFileCodec::decode(bytes).has_value());
+}
+
+TEST(TraceCodec, RejectsTruncatedVarintStream)
+{
+    // A buffer whose header promises more varints than the payload
+    // carries, with a *valid* CRC over the truncated bytes: decode
+    // must fail on the varint stream, not the checksum.
+    WorkingSetRecord r;
+    r.pages = {100, 200, 300, 400, 500};
+    auto bytes = TraceFileCodec::encode(r);
+    // Drop two payload bytes (keeping the 4 CRC bytes at the end).
+    bytes.erase(bytes.end() - 6, bytes.end() - 4);
+    refreshCrc(bytes);
+    EXPECT_FALSE(TraceFileCodec::decode(bytes).has_value());
+}
+
+TEST(TraceCodec, RejectsTrailingGarbage)
+{
+    // Extra payload bytes after the promised varints (valid CRC):
+    // the decoder must notice the stream did not end at the CRC.
+    WorkingSetRecord r;
+    r.pages = {7, 8, 9};
+    auto bytes = TraceFileCodec::encode(r);
+    bytes.insert(bytes.end() - 4, std::uint8_t{0x00});
+    refreshCrc(bytes);
+    EXPECT_FALSE(TraceFileCodec::decode(bytes).has_value());
+}
+
+TEST(TraceCodec, RejectsNegativePageDelta)
+{
+    // A delta stream that walks below page 0 is corrupt even when the
+    // CRC and framing are intact.
+    std::vector<std::uint8_t> bytes = {'R', 'E', 'A', 'P',
+                                       'T', 'R', 'C', '1'};
+    bytes.push_back(1); // count = 1
+    // zigzag(-1) = 1: first (absolute) page would be -1.
+    bytes.push_back(1);
+    bytes.resize(bytes.size() + 4);
+    refreshCrc(bytes);
+    EXPECT_FALSE(TraceFileCodec::decode(bytes).has_value());
+}
+
+TEST(TraceCodec, RejectsTooShortBuffer)
+{
+    std::vector<std::uint8_t> tiny = {'R', 'E', 'A', 'P'};
+    EXPECT_FALSE(TraceFileCodec::decode(tiny).has_value());
+    EXPECT_FALSE(
+        TraceFileCodec::decode(std::vector<std::uint8_t>{})
+            .has_value());
+}
+
 TEST(TraceCodec, DeltaEncodingIsCompact)
 {
     // Mostly-contiguous pages should encode in ~1-2 bytes per entry.
@@ -109,6 +206,30 @@ TEST(WorkingSetRecord, WastedAgainst)
     std::vector<std::int64_t> touched = {2, 3, 10, 50};
     EXPECT_EQ(r.wastedAgainst(touched), 2); // pages 1 and 11
     EXPECT_EQ(r.wsFileBytes(), 5 * kPageSize);
+}
+
+TEST(WorkingSetRecord, WastedAgainstEdgeCases)
+{
+    WorkingSetRecord empty;
+    EXPECT_EQ(empty.wastedAgainst({}), 0);
+    EXPECT_EQ(empty.wastedAgainst({1, 2, 3}), 0);
+    EXPECT_EQ(empty.wsFileBytes(), 0);
+
+    WorkingSetRecord r;
+    r.pages = {5, 6, 7};
+    // Nothing touched: the whole record was wasted.
+    EXPECT_EQ(r.wastedAgainst({}), 3);
+    // Touched superset: nothing wasted.
+    EXPECT_EQ(r.wastedAgainst({4, 5, 6, 7, 8}), 0);
+    // Exact match.
+    EXPECT_EQ(r.wastedAgainst({5, 6, 7}), 0);
+
+    // Duplicate record entries each count against the touched set
+    // (the WS file stores one copy per recorded fault).
+    WorkingSetRecord dup;
+    dup.pages = {3, 3, 9};
+    EXPECT_EQ(dup.wastedAgainst({3}), 1);  // only page 9 missing
+    EXPECT_EQ(dup.wastedAgainst({10}), 3); // both 3s and the 9
 }
 
 TEST(Orchestrator, RecordThenPrefetchEliminatesFaults)

@@ -11,9 +11,11 @@
 
 #include "cluster/azure_workload.hh"
 #include "cluster/cluster.hh"
+#include "core/loader/loader.hh"
 #include "core/options.hh"
 #include "core/worker.hh"
 #include "func/profile.hh"
+#include "net/object_store.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
 #include "storage/disk.hh"
@@ -118,6 +120,146 @@ TEST(RemoteStorage, ReapAdvantageGrowsRemotely)
     double local = speedup(storage::DiskParams::ssd());
     double remote = speedup(storage::DiskParams::remoteStorage());
     EXPECT_GT(remote, local); // Sec. 7.1
+}
+
+TEST(RemoteStorage, ReapRemoteIsAFirstClassMode)
+{
+    // Sec. 7.1 as a registered SnapshotLoader: snapshot artifacts live
+    // in an S3-like object store and arrive as bulk GETs.
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    core::LatencyBreakdown local, remote;
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("pyaes"));
+        co_await orch.prepareSnapshot("pyaes");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("pyaes", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        local =
+            co_await orch.invoke("pyaes", ColdStartMode::Reap, opts);
+        std::int64_t gets0 = w.objectStore().stats().gets;
+        remote = co_await orch.invoke(
+            "pyaes", ColdStartMode::RemoteReap, opts);
+        // VMM state + WS file each arrived as an object GET.
+        EXPECT_GE(w.objectStore().stats().gets - gets0, 2);
+    });
+    EXPECT_TRUE(remote.cold);
+    EXPECT_GT(remote.fetchWs, 0);
+    // Same prefetch set as local REAP; eager install still eliminates
+    // nearly all faults.
+    EXPECT_EQ(remote.prefetchedPages, local.prefetchedPages);
+    EXPECT_LT(remote.residualFaults, remote.prefetchedPages / 10);
+    // The network costs something over the local O_DIRECT read, but
+    // the bulk transfer keeps it the same order of magnitude.
+    EXPECT_GT(remote.total, local.total);
+    EXPECT_LT(remote.total, 3 * local.total);
+}
+
+TEST(RemoteStorage, SnapshotArtifactsAreStagedOnce)
+{
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("helloworld"));
+        co_await orch.prepareSnapshot("helloworld");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("helloworld", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::RemoteReap, opts);
+        EXPECT_EQ(w.objectStore().stats().puts, 1);
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::RemoteReap, opts);
+        // The upload is one-time; later cold starts only GET.
+        EXPECT_EQ(w.objectStore().stats().puts, 1);
+
+        // Invalidating the record forces a re-record and a re-stage.
+        orch.invalidateRecord("helloworld");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::RemoteReap, opts);
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::RemoteReap, opts);
+        EXPECT_EQ(w.objectStore().stats().puts, 2);
+    });
+}
+
+TEST(LoaderRegistry, CustomLoaderIsDispatched)
+{
+    // The registry is the extension point: swapping a loader changes
+    // cold-start behavior with no orchestrator involvement.
+    class StubLoader final : public core::loader::SnapshotLoader {
+      public:
+        explicit StubLoader(int *calls) : calls(calls) {}
+        const char *name() const override { return "stub"; }
+        bool needsSnapshot() const override { return false; }
+        sim::Task<core::LatencyBreakdown>
+        load(core::loader::LoadContext ctx) override
+        {
+            ++*calls;
+            core::LatencyBreakdown bd;
+            Time t0 = ctx.sim.now();
+            co_await ctx.sim.delay(msec(1));
+            bd.total = ctx.sim.now() - t0;
+            co_return bd;
+        }
+
+      private:
+        int *calls;
+    };
+
+    Simulation sim;
+    Worker w(sim);
+    int calls = 0;
+    auto &orch = w.orchestrator();
+    EXPECT_STREQ(
+        orch.loaders().loaderFor(ColdStartMode::BootFromScratch)
+            .name(),
+        "boot");
+    orch.loaders().registerLoader(ColdStartMode::BootFromScratch,
+                                  std::make_unique<StubLoader>(&calls));
+    orch.registerFunction(func::profileByName("helloworld"));
+    core::LatencyBreakdown bd;
+    runScenario(sim, [&]() -> Task<void> {
+        bd = co_await orch.invoke("helloworld",
+                                  ColdStartMode::BootFromScratch);
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(bd.cold);
+    EXPECT_EQ(bd.total, msec(1));
+    EXPECT_EQ(orch.stats("helloworld").coldInvocations, 1);
+}
+
+TEST(LoaderRegistry, AllModesAreRegistered)
+{
+    core::loader::LoaderRegistry reg;
+    const ColdStartMode all[] = {
+        ColdStartMode::BootFromScratch,
+        ColdStartMode::VanillaSnapshot,
+        ColdStartMode::ParallelPageFaults,
+        ColdStartMode::WsFileCached,
+        ColdStartMode::Reap,
+        ColdStartMode::RemoteReap,
+    };
+    EXPECT_EQ(reg.modes().size(), 6u);
+    for (ColdStartMode m : all) {
+        ASSERT_NE(reg.find(m), nullptr);
+        // Registry names agree with the mode-name table.
+        EXPECT_STREQ(reg.find(m)->name(), coldStartModeName(m));
+    }
+    EXPECT_STREQ(reg.recordLoader().name(), "record");
 }
 
 TEST(Rootfs, BootReadsContainerImage)

@@ -140,8 +140,9 @@ TEST_P(PerFunction, ResidualsTrackUniqueFraction)
     EXPECT_LE(resid_pages,
               expected_frac * static_cast<double>(p.wsPages()) * 1.2)
         << GetParam();
-    if (expected_frac > 0.01)
+    if (expected_frac > 0.01) {
         EXPECT_GT(o.reap.residualFaults, 0) << GetParam();
+    }
 }
 
 TEST_P(PerFunction, RestoredFootprintTracksWorkingSet)
