@@ -13,7 +13,11 @@
  *  - a remote block device (EBS-like; every disk request pays the
  *    network),
  *  - a remote object store (S3-like) via the first-class RemoteReap
- *    mode: snapshot artifacts arrive as bulk object GETs.
+ *    mode: snapshot artifacts arrive as bulk object GETs,
+ *  - the tiered fallback chain (TieredReap): a fresh worker pulls the
+ *    artifacts from the store with a windowed fetch and admits them
+ *    into the local tiers, so only the first cold start pays the
+ *    network at all.
  */
 
 #include <cstdio>
@@ -71,6 +75,51 @@ measure(const func::FunctionProfile &profile,
     return row;
 }
 
+/**
+ * TieredReap on a fresh worker (first cold: remote windowed fetch +
+ * admission) and in steady state (later colds: local tiers).
+ */
+struct TieredRow {
+    double first_ms = 0;
+    double steady_ms = 0;
+};
+
+TieredRow
+measureTiered(const func::FunctionProfile &profile)
+{
+    sim::Simulation sim;
+    core::WorkerConfig cfg;
+    cfg.disk = storage::DiskParams::ssd();
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    core::Worker w(sim, cfg);
+    TieredRow row;
+    bench::runScenario(sim, [&]() -> sim::Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(profile);
+        co_await orch.prepareSnapshot(profile.name);
+        orch.flushHostCaches();
+        (void)co_await orch.invoke(profile.name,
+                                   core::ColdStartMode::Reap);
+        core::InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        // Staging models a fresh worker: the first tiered cold walks
+        // to the remote tier and re-admits the artifacts locally.
+        auto first = co_await orch.invoke(
+            profile.name, core::ColdStartMode::TieredReap, opts);
+        row.first_ms = toMs(first.total);
+        const int reps = 3;
+        Samples steady;
+        for (int i = 0; i < reps; ++i) {
+            auto r = co_await orch.invoke(
+                profile.name, core::ColdStartMode::TieredReap, opts);
+            steady.add(toMs(r.total));
+        }
+        row.steady_ms = steady.mean();
+    });
+    return row;
+}
+
 } // namespace
 
 int
@@ -81,8 +130,9 @@ main()
 
     Table t({"function", "ssd_base", "ssd_reap", "ssd_speedup",
              "remote_base", "remote_reap", "remote_speedup",
-             "s3_reap", "s3_speedup"});
-    Samples ssd_speedups, remote_speedups, s3_speedups;
+             "s3_reap", "s3_speedup", "tier1_reap", "tierN_reap"});
+    Samples ssd_speedups, remote_speedups, s3_speedups,
+        tiered_speedups;
     // A representative subset keeps the run short.
     const char *subset[] = {"helloworld", "pyaes", "lr_serving",
                             "cnn_serving", "json_serdes"};
@@ -109,14 +159,20 @@ main()
         s3_cfg.objectStore = net::ObjectStoreParams::remote();
         Row s3 = measure(p, s3_cfg, core::ColdStartMode::RemoteReap);
 
+        // Tiered fallback chain: first cold pays a windowed remote
+        // fetch; admission makes every later cold a local one.
+        TieredRow tiered = measureTiered(p);
+
         double s1 = ssd.base_ms / ssd.reap_ms;
         double s2 = remote.base_ms / remote.reap_ms;
         // The honest baseline for object-store REAP is lazy paging
         // over the same network (the remote block device).
         double s3_speedup = remote.base_ms / s3.reap_ms;
+        double tiered_speedup = remote.base_ms / tiered.first_ms;
         ssd_speedups.add(s1);
         remote_speedups.add(s2);
         s3_speedups.add(s3_speedup);
+        tiered_speedups.add(tiered_speedup);
         t.row()
             .cell(name)
             .cell(ssd.base_ms, 0)
@@ -126,17 +182,23 @@ main()
             .cell(remote.reap_ms, 0)
             .cell(s2, 2)
             .cell(s3.reap_ms, 0)
-            .cell(s3_speedup, 2);
+            .cell(s3_speedup, 2)
+            .cell(tiered.first_ms, 0)
+            .cell(tiered.steady_ms, 0);
     }
     t.print();
 
     std::printf("\nGeomean speedup: %.2fx on local SSD, %.2fx on a "
                 "remote block device,\n%.2fx for REAP from a remote "
-                "object store (vs remote lazy paging).\nPer-fault "
-                "network round trips make lazy paging collapse "
-                "remotely; REAP's single\nbulk transfer preserves "
-                "most of its advantage (Sec. 7.1).\n",
+                "object store (vs remote lazy paging),\n%.2fx for "
+                "the tiered chain's first (remote, windowed) cold "
+                "start.\nPer-fault network round trips make lazy "
+                "paging collapse remotely; REAP's single\nbulk "
+                "transfer preserves most of its advantage (Sec. 7.1). "
+                "The tiered chain's\nwindowed fetch narrows the "
+                "remote gap further, and admission turns every\n"
+                "later cold start into a local-SSD one (tierN).\n",
                 ssd_speedups.geomean(), remote_speedups.geomean(),
-                s3_speedups.geomean());
+                s3_speedups.geomean(), tiered_speedups.geomean());
     return 0;
 }

@@ -11,4 +11,14 @@ FunctionState::ensureRootfs(storage::FileStore &fs)
     return rootfs;
 }
 
+void
+FunctionState::evictLocalArtifacts(storage::FileStore &fs)
+{
+    artifactsLocal = false;
+    if (wsFile != storage::kInvalidFile)
+        fs.dropFileCaches(wsFile);
+    if (traceFile != storage::kInvalidFile)
+        fs.dropFileCaches(traceFile);
+}
+
 } // namespace vhive::core

@@ -59,6 +59,16 @@ struct FunctionState
     bool recorded = false;
 
     /**
+     * Whether the snapshot artifacts (WS file + VMM state) have a
+     * valid local copy on this worker's SSD. Set by the record phase;
+     * cleared when modelling a fresh worker whose only copy lives in
+     * the remote store (TieredReap staging) or when experiments evict
+     * local artifacts. Gates the page-cache and local-SSD tiers of
+     * tiered fallback chains.
+     */
+    bool artifactsLocal = false;
+
+    /**
      * Whether the current record's snapshot artifacts have been staged
      * into the remote object store (RemoteReap). Cleared whenever the
      * record is invalidated or re-recorded.
@@ -75,6 +85,14 @@ struct FunctionState
      * @return the rootfs file id.
      */
     storage::FileId ensureRootfs(storage::FileStore &fs);
+
+    /**
+     * Drop the local-SSD copy of the snapshot artifacts: clear
+     * artifactsLocal and evict their cached pages. Shared by
+     * Orchestrator::evictLocalArtifacts and TieredReap's fresh-worker
+     * staging so the two invalidation paths cannot diverge.
+     */
+    void evictLocalArtifacts(storage::FileStore &fs);
 };
 
 } // namespace vhive::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/page_fetch.hh"
+#include "mem/tiered_source.hh"
 #include "util/logging.hh"
 
 namespace vhive::core::loader {
@@ -122,6 +123,7 @@ RecordLoader::load(LoadContext ctx)
     // (buffered, with asynchronous writeback).
     co_await ctx.fs.writeBuffered(st.wsFile, 0, ws_bytes);
     co_await ctx.fs.writeBuffered(st.traceFile, 0, trace_bytes);
+    st.artifactsLocal = true;
 
     inst.busy = false;
     co_return bd;
@@ -141,6 +143,15 @@ PrefetchLoader::preRestore(LoadContext ctx)
 {
     (void)ctx;
     co_return;
+}
+
+sim::Task<void>
+PrefetchLoader::fetchWs(LoadContext &ctx,
+                        mem::PageFetchPipeline &pipeline, Bytes len,
+                        Duration *out)
+{
+    (void)ctx;
+    co_await pipeline.fetchContiguousTimed(0, len, out);
 }
 
 sim::Task<void>
@@ -191,8 +202,7 @@ PrefetchLoader::load(LoadContext ctx)
                    ctx.reap.overlapFetchWithVmmLoad;
     sim::Task<void> fetch_task;
     if (overlap) {
-        fetch_task =
-            pipeline.fetchContiguousTimed(0, ws_bytes, &bd.fetchWs);
+        fetch_task = fetchWs(ctx, pipeline, ws_bytes, &bd.fetchWs);
         fetch_task.start(ctx.sim);
     }
 
@@ -214,13 +224,17 @@ PrefetchLoader::load(LoadContext ctx)
         if (overlap)
             co_await fetch_task;
         else
-            co_await pipeline.fetchContiguousTimed(0, ws_bytes,
-                                                   &bd.fetchWs);
+            co_await fetchWs(ctx, pipeline, ws_bytes, &bd.fetchWs);
         Time i0 = ctx.sim.now();
         co_await installWorkingSet(ctx);
         bd.installWs = ctx.sim.now() - i0;
     }
     bd.prefetchedPages = st.record.pageCount();
+    for (const auto &t : pipeline.stats().tiers) {
+        bd.tierHits.push_back(TierBreakdown{t.label, t.hits, t.misses,
+                                            t.admissions, t.bytes,
+                                            t.time});
+    }
 
     inst.monitor = std::make_unique<Monitor>(
         ctx.sim, ctx.fs, *inst.uffd, inst.vm->guestMemory(),
@@ -306,6 +320,102 @@ RemoteReapLoader::preRestore(LoadContext ctx)
     co_await ctx.objectStore.get(ctx.vmmParams.vmmStateSize);
     co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
                                   ctx.vmmParams.vmmStateSize);
+}
+
+// --------------------------------------------------------- TieredReap
+
+std::unique_ptr<mem::PageSource>
+TieredReapLoader::makeSource(LoadContext &ctx) const
+{
+    auto tiered = std::make_unique<mem::TieredPageSource>(ctx.sim);
+    FunctionState *st = &ctx.st;
+    storage::FileStore *fs = &ctx.fs;
+    storage::FileId ws = st->wsFile;
+
+    // Admission lands remote bytes in the WS file's cache pages with
+    // asynchronous writeback — one hook populates both local tiers,
+    // hung off the lowest enabled local tier (the one adjacent to the
+    // remote backstop) so only remote serves trigger it and the cost
+    // is paid once per miss range. O_DIRECT SSD serves must never
+    // admit into the page cache.
+    std::function<sim::Task<void>(Bytes, Bytes)> cacheAdmit, ssdAdmit;
+    if (ctx.reap.tieredAdmitOnMiss) {
+        auto admitLocal = [fs, ws](Bytes off, Bytes len) {
+            return fs->writeBuffered(ws, off, len);
+        };
+        if (ctx.reap.tieredLocalTier)
+            ssdAdmit = admitLocal;
+        else
+            cacheAdmit = admitLocal;
+    }
+
+    if (ctx.reap.tieredPageCacheTier) {
+        tiered->addTier(mem::TieredPageSource::Tier{
+            "page-cache",
+            std::make_unique<mem::BufferedFileSource>(*fs, ws),
+            [fs, ws](Bytes off, Bytes len) {
+                return fs->isCached(ws, off, len);
+            },
+            std::move(cacheAdmit)});
+    }
+    if (ctx.reap.tieredLocalTier) {
+        tiered->addTier(mem::TieredPageSource::Tier{
+            "local-ssd",
+            std::make_unique<mem::DirectFileSource>(*fs, ws),
+            [st](Bytes, Bytes) { return st->artifactsLocal; },
+            std::move(ssdAdmit)});
+    }
+    tiered->addTier(mem::TieredPageSource::Tier{
+        "remote",
+        std::make_unique<mem::RemoteObjectSource>(ctx.objectStore),
+        nullptr, nullptr});
+    return tiered;
+}
+
+sim::Task<void>
+TieredReapLoader::ensureStaged(LoadContext ctx)
+{
+    bool was_staged = ctx.st.remoteStaged;
+    co_await RemoteReapLoader::ensureStaged(ctx);
+    if (!was_staged && ctx.reap.tieredFreshWorker) {
+        // Model the next cold start on a worker with no local copy:
+        // the remote tier is the only valid one until admission
+        // re-populates the chain.
+        ctx.st.evictLocalArtifacts(ctx.fs);
+    }
+}
+
+sim::Task<void>
+TieredReapLoader::preRestore(LoadContext ctx)
+{
+    // The VMM/device state follows the same tiering: local copies are
+    // deserialized in place; a fresh worker GETs the state object and
+    // lands it in the local file's cache pages (RemoteReap's path).
+    if (ctx.st.artifactsLocal)
+        co_return;
+    co_await RemoteReapLoader::preRestore(ctx);
+}
+
+sim::Task<void>
+TieredReapLoader::fetchWs(LoadContext &ctx,
+                          mem::PageFetchPipeline &pipeline, Bytes len,
+                          Duration *out)
+{
+    co_await pipeline.fetchWindowedTimed(0, len,
+                                         ctx.reap.tieredWindowBytes,
+                                         ctx.reap.tieredInFlight, out);
+    // The worker holds a complete local copy only when admission put
+    // one there: every byte of this fetch must have come from the
+    // remote tier (and been admitted on the way through). A fetch
+    // served (even partly) by the page cache proves nothing about the
+    // SSD copy an earlier eviction may have dropped.
+    if (ctx.st.artifactsLocal || !ctx.reap.tieredAdmitOnMiss ||
+        !ctx.reap.tieredLocalTier)
+        co_return;
+    for (const auto &t : pipeline.stats().tiers) {
+        if (t.label == "remote" && t.bytes >= len)
+            ctx.st.artifactsLocal = true;
+    }
 }
 
 } // namespace vhive::core::loader

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "core/loader/loader.hh"
+#include "mem/page_fetch.hh"
 #include "mem/page_source.hh"
 
 namespace vhive::core::loader {
@@ -96,6 +97,14 @@ class PrefetchLoader : public SnapshotLoader
      */
     virtual sim::Task<void> preRestore(LoadContext ctx);
 
+    /**
+     * The non-interleaved WS fetch shape. Default: one contiguous
+     * read of [0, len). TieredReap overrides with the windowed shape.
+     */
+    virtual sim::Task<void> fetchWs(LoadContext &ctx,
+                                    mem::PageFetchPipeline &pipeline,
+                                    Bytes len, Duration *out);
+
   private:
     /** Batched UFFDIO_COPY install of the recorded set. */
     sim::Task<void> installWorkingSet(LoadContext &ctx);
@@ -145,7 +154,7 @@ class ReapLoader final : public PrefetchLoader
  * The VMM state and WS file arrive as bulk GETs; the first use stages
  * the artifacts into the store (off the timed path).
  */
-class RemoteReapLoader final : public PrefetchLoader
+class RemoteReapLoader : public PrefetchLoader
 {
   public:
     const char *name() const override { return "reap-remote"; }
@@ -156,6 +165,30 @@ class RemoteReapLoader final : public PrefetchLoader
     bool supportsOverlap() const override { return true; }
     sim::Task<void> ensureStaged(LoadContext ctx) override;
     sim::Task<void> preRestore(LoadContext ctx) override;
+};
+
+/**
+ * REAP over a tiered fallback chain (page cache -> local SSD -> remote
+ * object store) with warm-tier admission and a windowed remote fetch
+ * (ReapOptions::tieredWindowBytes / tieredInFlight in-flight ranged
+ * GETs). Per-tier hit/byte/latency accounting lands in
+ * LatencyBreakdown::tierHits. Shares RemoteReapLoader's staging and
+ * VMM-state transfer; the local tiers short-circuit both when a valid
+ * local copy exists.
+ */
+class TieredReapLoader final : public RemoteReapLoader
+{
+  public:
+    const char *name() const override { return "reap-tiered"; }
+
+  protected:
+    std::unique_ptr<mem::PageSource>
+    makeSource(LoadContext &ctx) const override;
+    sim::Task<void> ensureStaged(LoadContext ctx) override;
+    sim::Task<void> preRestore(LoadContext ctx) override;
+    sim::Task<void> fetchWs(LoadContext &ctx,
+                            mem::PageFetchPipeline &pipeline, Bytes len,
+                            Duration *out) override;
 };
 
 } // namespace vhive::core::loader

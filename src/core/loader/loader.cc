@@ -18,6 +18,8 @@ LoaderRegistry::LoaderRegistry()
     registerLoader(ColdStartMode::Reap, std::make_unique<ReapLoader>());
     registerLoader(ColdStartMode::RemoteReap,
                    std::make_unique<RemoteReapLoader>());
+    registerLoader(ColdStartMode::TieredReap,
+                   std::make_unique<TieredReapLoader>());
     _recordLoader = std::make_unique<RecordLoader>();
 }
 

@@ -8,6 +8,8 @@
 #define VHIVE_CORE_OPTIONS_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "util/units.hh"
 
@@ -49,6 +51,16 @@ enum class ColdStartMode
      * guest-memory snapshot image.
      */
     RemoteReap,
+
+    /**
+     * REAP over a tiered fallback chain (host page cache -> local SSD
+     * -> remote object store) with warm-tier admission and a windowed
+     * remote fetch shape (N in-flight ranged GETs). The Sec. 7.1
+     * remote-placement design space as a first-class mode: a fresh
+     * worker pays the remote path once, then serves later cold starts
+     * from the tiers the fetch populated.
+     */
+    TieredReap,
 };
 
 /** Human-readable mode name. */
@@ -112,6 +124,49 @@ struct ReapOptions
 
     /** Per-page cost of the layout re-randomization rewrite. */
     Duration rerandomizePerPage = static_cast<Duration>(900);
+
+    // ------------------------------------------------ TieredReap knobs
+
+    /** Include the page-cache tier in the fallback chain. */
+    bool tieredPageCacheTier = true;
+
+    /** Include the local-SSD tier in the fallback chain. */
+    bool tieredLocalTier = true;
+
+    /**
+     * Model the first tiered cold start on a worker holding no local
+     * artifact copy (cross-worker sharing via the store): staging
+     * invalidates the local tiers, so the first fetch pays the remote
+     * path and re-populates them through admission.
+     */
+    bool tieredFreshWorker = true;
+
+    /** Bytes fetched from a lower tier populate the tiers above. */
+    bool tieredAdmitOnMiss = true;
+
+    /**
+     * Window size for the tiered WS fetch; 0 = one bulk read (the
+     * single-GET shape RemoteReap uses).
+     */
+    Bytes tieredWindowBytes = 1 * kMiB;
+
+    /** Concurrent windows in flight during the tiered WS fetch. */
+    int tieredInFlight = 4;
+};
+
+/**
+ * Per-tier fetch accounting as reported at the orchestrator level
+ * (mirror of mem::TierStats, kept separate so core/options.hh stays a
+ * leaf header).
+ */
+struct TierBreakdown
+{
+    std::string tier;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t admissions = 0;
+    Bytes bytes = 0;
+    Duration time = 0;
 };
 
 /** Per-invocation latency decomposition at the orchestrator level. */
@@ -132,6 +187,12 @@ struct LatencyBreakdown
                                      ///< eager install (REAP modes)
     std::int64_t prefetchedPages = 0;
     std::int64_t wastedPrefetch = 0; ///< prefetched but never touched
+
+    /**
+     * Per-tier WS-fetch accounting; populated only by loaders whose
+     * PageSource is a tiered fallback chain (TieredReap).
+     */
+    std::vector<TierBreakdown> tierHits;
 };
 
 } // namespace vhive::core

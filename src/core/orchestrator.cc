@@ -14,6 +14,7 @@ coldStartModeName(ColdStartMode mode)
       case ColdStartMode::WsFileCached: return "ws-file";
       case ColdStartMode::Reap: return "reap";
       case ColdStartMode::RemoteReap: return "reap-remote";
+      case ColdStartMode::TieredReap: return "reap-tiered";
     }
     return "?";
 }
@@ -309,6 +310,13 @@ Orchestrator::invalidateRecord(const std::string &name)
     FunctionState &st = state(name);
     st.recorded = false;
     st.remoteStaged = false;
+    st.artifactsLocal = false;
+}
+
+void
+Orchestrator::evictLocalArtifacts(const std::string &name)
+{
+    state(name).evictLocalArtifacts(fs);
 }
 
 const FunctionStats &

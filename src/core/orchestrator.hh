@@ -110,6 +110,15 @@ class Orchestrator
     /** Invalidate the record so the next cold start re-records. */
     void invalidateRecord(const std::string &name);
 
+    /**
+     * Drop the local-SSD copy of @p name's snapshot artifacts (the
+     * record itself stays valid). Models a fresh worker whose only
+     * copy lives in the remote store, or local artifact GC; the next
+     * tiered cold start falls through to the remote tier and
+     * re-admits the bytes locally.
+     */
+    void evictLocalArtifacts(const std::string &name);
+
     /** Aggregate stats for @p name. */
     const FunctionStats &stats(const std::string &name) const;
 

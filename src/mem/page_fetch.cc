@@ -20,8 +20,60 @@ PageFetchPipeline::fetchContiguousTimed(Bytes offset, Bytes len,
     _stats.bytesFetched += len;
     Time t0 = sim.now();
     co_await source.read(offset, len);
+    snapshotTiers();
     if (out != nullptr)
         *out = sim.now() - t0;
+}
+
+sim::Task<void>
+PageFetchPipeline::fetchWindowed(Bytes offset, Bytes len,
+                                 Bytes windowBytes, int inFlight)
+{
+    co_await fetchWindowedTimed(offset, len, windowBytes, inFlight,
+                                nullptr);
+}
+
+sim::Task<void>
+PageFetchPipeline::fetchWindowedTimed(Bytes offset, Bytes len,
+                                      Bytes windowBytes, int inFlight,
+                                      Duration *out)
+{
+    if (windowBytes <= 0 || windowBytes >= len) {
+        // One window covering the range is the contiguous shape.
+        co_await fetchContiguousTimed(offset, len, out);
+        co_return;
+    }
+    ++_stats.windowedFetches;
+    _stats.bytesFetched += len;
+    std::int64_t windows = (len + windowBytes - 1) / windowBytes;
+    _stats.windowsIssued += windows;
+
+    Time t0 = sim.now();
+    int workers = static_cast<int>(std::min<std::int64_t>(
+        std::max(1, inFlight), windows));
+    sim::Latch done(sim, workers);
+    for (int w = 0; w < workers; ++w) {
+        sim.spawn(windowWorker(offset, len, windowBytes, w, workers,
+                               &done));
+    }
+    co_await done.wait();
+    snapshotTiers();
+    if (out != nullptr)
+        *out = sim.now() - t0;
+}
+
+sim::Task<void>
+PageFetchPipeline::windowWorker(Bytes offset, Bytes len,
+                                Bytes windowBytes, std::int64_t begin,
+                                std::int64_t stride, sim::Latch *done)
+{
+    std::int64_t windows = (len + windowBytes - 1) / windowBytes;
+    for (std::int64_t i = begin; i < windows; i += stride) {
+        Bytes off = offset + i * windowBytes;
+        Bytes n = std::min(windowBytes, offset + len - off);
+        co_await source.read(off, n);
+    }
+    done->arrive();
 }
 
 sim::Task<void>
@@ -54,6 +106,7 @@ PageFetchPipeline::fetchAndInstallPages(
                              &done));
     }
     co_await done.wait();
+    snapshotTiers();
 }
 
 } // namespace vhive::mem

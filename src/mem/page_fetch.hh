@@ -10,6 +10,10 @@
  *  - fetchAndInstallPages(): N strided workers issuing page-sized
  *    reads and installing each page via UFFDIO_COPY as it lands (the
  *    ParallelPageFaults design point, Sec. 5.2 / Fig. 7).
+ *  - fetchWindowed(): the range split into fixed-size windows with a
+ *    bounded number in flight — N concurrent ranged GETs against the
+ *    object store's per-stream bandwidth model, the remote fetch
+ *    sweet-spot knob the ROADMAP's batching item calls for.
  *
  * Loaders pick a source + shape instead of open-coding I/O, so a new
  * cold-start design point is a new composition, not orchestrator
@@ -37,7 +41,19 @@ struct PageFetchStats
 {
     std::int64_t contiguousFetches = 0;
     std::int64_t pageFetches = 0;
+    std::int64_t windowedFetches = 0;
+
+    /** Windows issued across all windowed fetches. */
+    std::int64_t windowsIssued = 0;
+
     Bytes bytesFetched = 0;
+
+    /**
+     * Per-tier accounting snapshot from the source (empty unless the
+     * source is a TieredPageSource). Invariant: the per-tier byte
+     * counts sum to bytesFetched when all traffic is tiered.
+     */
+    std::vector<TierStats> tiers;
 };
 
 /**
@@ -67,6 +83,21 @@ class PageFetchPipeline
                                          Duration *out);
 
     /**
+     * Windowed shape: [offset, offset+len) split into @p windowBytes
+     * ranges with at most @p inFlight concurrent source reads (ranged
+     * GETs on a remote source). Degenerates to fetchContiguous() when
+     * windowBytes is zero or covers the whole range. Moves exactly the
+     * same bytes as fetchContiguous() for any (windowBytes, inFlight).
+     */
+    sim::Task<void> fetchWindowed(Bytes offset, Bytes len,
+                                  Bytes windowBytes, int inFlight);
+
+    /** Timed variant of fetchWindowed (see fetchContiguousTimed). */
+    sim::Task<void> fetchWindowedTimed(Bytes offset, Bytes len,
+                                       Bytes windowBytes, int inFlight,
+                                       Duration *out);
+
+    /**
      * ParallelPageFaults shape: @p workers strided tasks issue one
      * page-sized source read per entry of @p pages, pay the
      * UFFDIO_COPY cost, and mark the page present in @p guest.
@@ -84,6 +115,15 @@ class PageFetchPipeline
     pageWorker(const std::vector<std::int64_t> &pages, size_t begin,
                size_t stride, UserFaultFd &uffd, GuestMemory &guest,
                sim::Latch *done);
+
+    /** One strided worker of fetchWindowed. */
+    sim::Task<void> windowWorker(Bytes offset, Bytes len,
+                                 Bytes windowBytes, std::int64_t begin,
+                                 std::int64_t stride,
+                                 sim::Latch *done);
+
+    /** Refresh the per-tier snapshot after a fetch completed. */
+    void snapshotTiers() { _stats.tiers = source.tierStats(); }
 
     sim::Simulation &sim;
     PageSource &source;

@@ -17,9 +17,7 @@ DirectFileSource::read(Bytes offset, Bytes len)
 sim::Task<void>
 RemoteObjectSource::read(Bytes offset, Bytes len)
 {
-    // Ranged GET: the store prices requests by size, not position.
-    (void)offset;
-    co_await store.get(len);
+    co_await store.getRange(offset, len);
 }
 
 } // namespace vhive::mem

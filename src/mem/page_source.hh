@@ -18,6 +18,9 @@
 #ifndef VHIVE_MEM_PAGE_SOURCE_HH
 #define VHIVE_MEM_PAGE_SOURCE_HH
 
+#include <string>
+#include <vector>
+
 #include "net/object_store.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
@@ -25,6 +28,34 @@
 #include "util/units.hh"
 
 namespace vhive::mem {
+
+/**
+ * Accounting row for one tier of a tiered fallback chain: which tier
+ * served how many reads, how many bytes, and for how long. Plain
+ * sources report none; TieredPageSource reports one row per tier.
+ */
+struct TierStats
+{
+    std::string label;
+
+    /** Reads served by this tier. */
+    std::int64_t hits = 0;
+
+    /** Reads that probed this tier and fell through to a lower one. */
+    std::int64_t misses = 0;
+
+    /** Ranges admitted into this tier from a lower tier. */
+    std::int64_t admissions = 0;
+
+    /** Bytes served by this tier. */
+    Bytes bytes = 0;
+
+    /** Bytes admitted into this tier from below. */
+    Bytes bytesAdmitted = 0;
+
+    /** Time spent serving from this tier (source occupancy). */
+    Duration time = 0;
+};
 
 /**
  * A supplier of snapshot bytes, addressed as ranges of one backing
@@ -40,6 +71,9 @@ class PageSource
 
     /** Bring [offset, offset+len) in; completes when all bytes did. */
     virtual sim::Task<void> read(Bytes offset, Bytes len) = 0;
+
+    /** Per-tier accounting; empty unless the source is tiered. */
+    virtual std::vector<TierStats> tierStats() const { return {}; }
 };
 
 /** pread()-path source: fills and benefits from the page cache. */

@@ -1,0 +1,65 @@
+#include "mem/tiered_source.hh"
+
+#include "util/logging.hh"
+
+namespace vhive::mem {
+
+void
+TieredPageSource::addTier(Tier tier)
+{
+    VHIVE_ASSERT(tier.source != nullptr);
+    _stats.push_back(TierStats{tier.label});
+    tiers.push_back(std::move(tier));
+}
+
+sim::Task<void>
+TieredPageSource::read(Bytes offset, Bytes len)
+{
+    VHIVE_ASSERT(!tiers.empty());
+    // Probe top-down; the first tier holding the range serves it.
+    size_t serving = tiers.size();
+    for (size_t i = 0; i < tiers.size(); ++i) {
+        if (!tiers[i].contains || tiers[i].contains(offset, len)) {
+            serving = i;
+            break;
+        }
+        ++_stats[i].misses;
+    }
+    if (serving == tiers.size()) {
+        // Every tier declined. Chains must end in a backstop (a tier
+        // with a null contains predicate, e.g. the remote store);
+        // serving from a tier that just declared it lacks the bytes
+        // would corrupt both the data model and the hit accounting.
+        fatal("TieredPageSource: no tier holds [%lld, +%lld); the "
+              "last tier must be a backstop",
+              static_cast<long long>(offset),
+              static_cast<long long>(len));
+    }
+
+    TierStats &st = _stats[serving];
+    ++st.hits;
+    st.bytes += len;
+    Time t0 = sim.now();
+    co_await tiers[serving].source->read(offset, len);
+    // Source occupancy: concurrent windows overlap, so summed tier
+    // time can exceed wall-clock fetch time.
+    st.time += sim.now() - t0;
+
+    // Warm-tier admission: the fetched range populates every
+    // admittable tier above the one that served it.
+    for (size_t i = 0; i < serving; ++i) {
+        if (!tiers[i].admit)
+            continue;
+        ++_stats[i].admissions;
+        _stats[i].bytesAdmitted += len;
+        co_await tiers[i].admit(offset, len);
+    }
+}
+
+std::vector<TierStats>
+TieredPageSource::tierStats() const
+{
+    return _stats;
+}
+
+} // namespace vhive::mem

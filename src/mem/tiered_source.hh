@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TieredPageSource: an ordered fallback chain of PageSources modelling
+ * the snapshot-byte storage hierarchy the paper's Sec. 6/7 analysis
+ * turns on — host page cache, local SSD, disaggregated object store.
+ * Each read probes tiers top-down and is served by the first tier that
+ * holds the range; bytes served by a lower tier are admitted into the
+ * tiers above (warm-tier admission), so a fleet-fresh worker pays the
+ * remote path once and local paths afterwards.
+ *
+ * Per-tier hit/miss/byte/latency accounting is kept per source and
+ * surfaced through PageFetchStats, making cache/storage tiering a
+ * measurable Fig. 7-style design axis ("How Low Can You Go?",
+ * arXiv:2109.13319, argues cold-start floors live exactly here).
+ */
+
+#ifndef VHIVE_MEM_TIERED_SOURCE_HH
+#define VHIVE_MEM_TIERED_SOURCE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/page_source.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::mem {
+
+/**
+ * A fallback chain of PageSources with warm-tier admission. Reads are
+ * served by the highest (first-added) tier containing the range; every
+ * probed-but-missing tier records a miss, the serving tier records a
+ * hit, and admit hooks of the tiers above the serving one populate
+ * them with the fetched range.
+ */
+class TieredPageSource final : public PageSource
+{
+  public:
+    /** One tier of the chain. */
+    struct Tier
+    {
+        /** Label reported in stats and bench tables. */
+        std::string label;
+
+        /** The source serving reads when this tier holds the range. */
+        std::unique_ptr<PageSource> source;
+
+        /**
+         * Residency test for a range; a null predicate means the tier
+         * always holds it (the chain's backstop, e.g. the remote
+         * store).
+         */
+        std::function<bool(Bytes offset, Bytes len)> contains;
+
+        /**
+         * Populates this tier with a range served by a lower tier
+         * (e.g. a buffered write landing remote bytes in the page
+         * cache with asynchronous writeback). Null: not admittable.
+         */
+        std::function<sim::Task<void>(Bytes offset, Bytes len)> admit;
+    };
+
+    explicit TieredPageSource(sim::Simulation &sim) : sim(sim) {}
+
+    /** Append @p tier to the chain (probed after all earlier tiers). */
+    void addTier(Tier tier);
+
+    /** Number of tiers in the chain. */
+    int tierCount() const { return static_cast<int>(tiers.size()); }
+
+    const char *name() const override { return "tiered"; }
+    sim::Task<void> read(Bytes offset, Bytes len) override;
+    std::vector<TierStats> tierStats() const override;
+
+  private:
+    sim::Simulation &sim;
+    std::vector<Tier> tiers;
+    std::vector<TierStats> _stats;
+};
+
+} // namespace vhive::mem
+
+#endif // VHIVE_MEM_TIERED_SOURCE_HH

@@ -50,6 +50,16 @@ ObjectStore::get(Bytes bytes)
 }
 
 sim::Task<void>
+ObjectStore::getRange(Bytes offset, Bytes bytes)
+{
+    // The model prices requests by size; the offset only matters to
+    // the caller's data layout.
+    (void)offset;
+    ++_stats.rangedGets;
+    co_await get(bytes);
+}
+
+sim::Task<void>
 ObjectStore::put(Bytes bytes)
 {
     ++_stats.puts;

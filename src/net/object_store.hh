@@ -60,6 +60,10 @@ struct ObjectStoreStats
 {
     std::int64_t gets = 0;
     std::int64_t puts = 0;
+
+    /** Subset of gets that were ranged (HTTP Range) requests. */
+    std::int64_t rangedGets = 0;
+
     Bytes bytesServed = 0;
     Bytes bytesStored = 0;
 };
@@ -79,6 +83,16 @@ class ObjectStore
 
     /** Fetch an object of @p bytes; completes when fully received. */
     sim::Task<void> get(Bytes bytes);
+
+    /**
+     * Ranged GET (HTTP Range): fetch @p bytes at @p offset of a stored
+     * object. Pays the same per-request round trip, service cost and
+     * stream-slot admission as get() — position is free, requests are
+     * not — which is exactly what makes the windowed-fetch sweet spot
+     * a real trade-off (request overhead x windows vs per-stream
+     * bandwidth x in-flight windows).
+     */
+    sim::Task<void> getRange(Bytes offset, Bytes bytes);
 
     /** Store an object of @p bytes; completes when fully durable. */
     sim::Task<void> put(Bytes bytes);

@@ -98,6 +98,13 @@ FileStore::dropCaches()
         std::fill(f.cached.begin(), f.cached.end(), false);
 }
 
+void
+FileStore::dropFileCaches(FileId f)
+{
+    File &file = get(f);
+    std::fill(file.cached.begin(), file.cached.end(), false);
+}
+
 sim::Task<void>
 FileStore::fetchWindow(FileId f, Bytes offset, Bytes len,
                        sim::Semaphore *pipeline, sim::Latch *done)

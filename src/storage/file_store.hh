@@ -147,6 +147,9 @@ class FileStore
     /** Drop the entire page cache (`echo 3 > drop_caches`). */
     void dropCaches();
 
+    /** Drop one file's cached pages (fadvise DONTNEED). */
+    void dropFileCaches(FileId f);
+
     const FileStoreStats &stats() const { return _stats; }
     void resetStats() { _stats = FileStoreStats{}; }
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/azure_workload.hh"
 #include "cluster/cluster.hh"
 #include "cluster/traffic.hh"
 #include "func/profile.hh"
@@ -214,6 +215,49 @@ TEST(Cluster, LatencyStatsRecorded)
     const auto &s = cluster.stats("helloworld").e2eLatencyMs;
     EXPECT_EQ(s.count(), 3);
     EXPECT_GT(s.max(), s.min());
+}
+
+TEST(Cluster, AzureWorkloadLatenciesBitIdentical)
+{
+    // DES-core determinism guard (ahead of the planned event-queue /
+    // Channel perf work): two runs of the Azure workload with the
+    // same seed must produce bit-identical per-invocation latencies,
+    // not just matching aggregates.
+    auto run_once = [](std::uint64_t seed) {
+        Simulation sim;
+        ClusterConfig cfg;
+        cfg.workers = 2;
+        cfg.keepAlive = sec(90);
+        Cluster c(sim, cfg);
+        AzureWorkloadConfig wcfg;
+        wcfg.seed = seed;
+        wcfg.functions = 4;
+        wcfg.minInterarrival = sec(2);
+        wcfg.maxInterarrival = sec(20);
+        wcfg.horizon = sec(180);
+        AzureWorkload w(sim, c, wcfg);
+        AzureWorkloadResult result;
+        runScenario(sim, [&]() -> Task<void> {
+            result = co_await w.run();
+        });
+        return result;
+    };
+    auto a = run_once(0x5eed);
+    auto b = run_once(0x5eed);
+    ASSERT_GT(a.invocations, 10);
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.coldStarts, b.coldStarts);
+    // Bit-identical sample-by-sample.
+    ASSERT_EQ(a.e2eLatencyMs.values().size(),
+              b.e2eLatencyMs.values().size());
+    for (size_t i = 0; i < a.e2eLatencyMs.values().size(); ++i) {
+        EXPECT_EQ(a.e2eLatencyMs.values()[i],
+                  b.e2eLatencyMs.values()[i])
+            << "invocation " << i;
+    }
+    // A different seed must actually change the trajectory.
+    auto c = run_once(0xd1ff);
+    EXPECT_NE(a.e2eLatencyMs.sum(), c.e2eLatencyMs.sum());
 }
 
 } // namespace

@@ -196,6 +196,196 @@ TEST(RemoteStorage, SnapshotArtifactsAreStagedOnce)
     });
 }
 
+/**
+ * Helper: the tier row for @p label. A missing row is an EXPECT
+ * failure and yields a zeroed row, so chain-shape regressions fail
+ * with context instead of crashing the test.
+ */
+core::TierBreakdown
+tierRow(const core::LatencyBreakdown &bd, const std::string &label)
+{
+    for (const auto &t : bd.tierHits)
+        if (t.tier == label)
+            return t;
+    ADD_FAILURE() << "no tier row labelled '" << label << "'";
+    return core::TierBreakdown{label};
+}
+
+TEST(TieredReap, FallbackChainWalksDownThenWarmsUp)
+{
+    // The tentpole scenario: a fresh worker's first tiered cold start
+    // is served by the remote tier; admission lands the bytes in the
+    // page cache (with writeback to SSD), so an unflushed cold hits
+    // the page cache and a flushed cold falls through to the SSD
+    // copy. O_DIRECT SSD serves never pollute the cache — only
+    // admission does.
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("pyaes"));
+        co_await orch.prepareSnapshot("pyaes");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("pyaes", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+
+        // Cold 1: staging modelled a fresh worker, so every window
+        // fell through page-cache and SSD to the remote tier.
+        auto first = co_await orch.invoke(
+            "pyaes", ColdStartMode::TieredReap, opts);
+        EXPECT_EQ(first.tierHits.size(), 3u);
+        auto remote = tierRow(first, "remote");
+        auto ssd = tierRow(first, "local-ssd");
+        auto cache = tierRow(first, "page-cache");
+        EXPECT_GT(remote.hits, 0);
+        EXPECT_EQ(ssd.hits, 0);
+        EXPECT_EQ(cache.hits, 0);
+        EXPECT_EQ(ssd.misses, remote.hits);
+        EXPECT_EQ(cache.misses, remote.hits);
+        // Admission populated the SSD tier with everything fetched.
+        EXPECT_EQ(ssd.admissions, remote.hits);
+        EXPECT_GT(remote.bytes, 0);
+
+        // Cold 2 (no flush): admission left the bytes cache-resident,
+        // so the page-cache tier serves without touching the store.
+        std::int64_t gets1 = w.objectStore().stats().gets;
+        InvokeOptions warmCache;
+        warmCache.forceCold = true;
+        auto second = co_await orch.invoke(
+            "pyaes", ColdStartMode::TieredReap, warmCache);
+        EXPECT_GT(tierRow(second, "page-cache").hits, 0);
+        EXPECT_EQ(tierRow(second, "local-ssd").hits, 0);
+        EXPECT_EQ(tierRow(second, "remote").hits, 0);
+        EXPECT_EQ(w.objectStore().stats().gets, gets1);
+
+        // Cold 3 (cache flushed): the written-back SSD copy serves.
+        auto third = co_await orch.invoke(
+            "pyaes", ColdStartMode::TieredReap, opts);
+        EXPECT_GT(tierRow(third, "local-ssd").hits, 0);
+        EXPECT_EQ(tierRow(third, "remote").hits, 0);
+        EXPECT_EQ(w.objectStore().stats().gets, gets1);
+
+        // Each step down the hierarchy costs more than the one above.
+        EXPECT_LT(second.fetchWs, third.fetchWs);
+        EXPECT_LT(third.fetchWs, first.fetchWs);
+    });
+}
+
+TEST(TieredReap, EvictLocalArtifactsFallsBackToRemote)
+{
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("helloworld"));
+        co_await orch.prepareSnapshot("helloworld");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("helloworld", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::TieredReap, opts);
+        auto warm = co_await orch.invoke(
+            "helloworld", ColdStartMode::TieredReap, opts);
+        EXPECT_EQ(tierRow(warm, "remote").hits, 0);
+
+        // Artifact GC: the next cold start walks to the remote tier
+        // again and re-admits.
+        orch.evictLocalArtifacts("helloworld");
+        auto evicted = co_await orch.invoke(
+            "helloworld", ColdStartMode::TieredReap, opts);
+        EXPECT_GT(tierRow(evicted, "remote").hits, 0);
+        auto readmitted = co_await orch.invoke(
+            "helloworld", ColdStartMode::TieredReap, opts);
+        EXPECT_EQ(tierRow(readmitted, "remote").hits, 0);
+        EXPECT_GT(tierRow(readmitted, "local-ssd").hits, 0);
+    });
+}
+
+TEST(TieredReap, CacheServedFetchDoesNotResurrectLocalCopy)
+{
+    // Regression: after evicting the local artifacts, a tiered fetch
+    // served entirely by a (re-warmed) page cache must NOT mark the
+    // SSD copy valid — only full remote admission may. Otherwise the
+    // next flushed cold start reads an SSD copy the model says was
+    // dropped.
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("helloworld"));
+        co_await orch.prepareSnapshot("helloworld");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("helloworld", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::TieredReap, opts);
+
+        // Drop the local copy, then re-warm only the page cache via a
+        // buffered (WsFileCached) cold start.
+        orch.evictLocalArtifacts("helloworld");
+        InvokeOptions noflush;
+        noflush.forceCold = true;
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::WsFileCached,
+                                   noflush);
+
+        // Cache-served tiered fetch: proves nothing about the SSD.
+        auto cached = co_await orch.invoke(
+            "helloworld", ColdStartMode::TieredReap, noflush);
+        EXPECT_GT(tierRow(cached, "page-cache").hits, 0);
+        EXPECT_EQ(tierRow(cached, "remote").hits, 0);
+
+        // The next flushed cold must walk to the remote tier — the
+        // eviction is still in force.
+        auto flushed = co_await orch.invoke(
+            "helloworld", ColdStartMode::TieredReap, opts);
+        EXPECT_EQ(tierRow(flushed, "local-ssd").hits, 0);
+        EXPECT_GT(tierRow(flushed, "remote").hits, 0);
+    });
+}
+
+TEST(TieredReap, StagesArtifactsOnceLikeRemoteReap)
+{
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("helloworld"));
+        co_await orch.prepareSnapshot("helloworld");
+        orch.flushHostCaches();
+        (void)co_await orch.invoke("helloworld", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::TieredReap, opts);
+        EXPECT_EQ(w.objectStore().stats().puts, 1);
+        (void)co_await orch.invoke("helloworld",
+                                   ColdStartMode::TieredReap, opts);
+        EXPECT_EQ(w.objectStore().stats().puts, 1);
+        // The windowed remote fetch arrived as ranged GETs.
+        EXPECT_GT(w.objectStore().stats().rangedGets, 1);
+    });
+}
+
 TEST(LoaderRegistry, CustomLoaderIsDispatched)
 {
     // The registry is the extension point: swapping a loader changes
@@ -252,8 +442,9 @@ TEST(LoaderRegistry, AllModesAreRegistered)
         ColdStartMode::WsFileCached,
         ColdStartMode::Reap,
         ColdStartMode::RemoteReap,
+        ColdStartMode::TieredReap,
     };
-    EXPECT_EQ(reg.modes().size(), 6u);
+    EXPECT_EQ(reg.modes().size(), 7u);
     for (ColdStartMode m : all) {
         ASSERT_NE(reg.find(m), nullptr);
         // Registry names agree with the mode-name table.

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Golden-trace regression harness: every registered ColdStartMode is
+ * run through the Fig. 7 per-segment breakdown on helloworld and the
+ * exact (nanosecond-integer) output is diffed against a checked-in
+ * baseline. Loader or pipeline refactors that shift any published
+ * segment fail this test; an intentional recalibration regenerates
+ * the baseline:
+ *
+ *   VHIVE_UPDATE_GOLDEN=1 ./test_golden
+ *
+ * The companion test asserts the breakdown itself is bit-identical
+ * across two independent simulation runs — the determinism the golden
+ * diff relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/loader/loader.hh"
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "func/profile.hh"
+#include "net/object_store.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+#ifndef VHIVE_GOLDEN_DIR
+#error "VHIVE_GOLDEN_DIR must point at the checked-in golden files"
+#endif
+
+namespace vhive {
+namespace {
+
+using core::ColdStartMode;
+using core::InvokeOptions;
+using core::Worker;
+using core::WorkerConfig;
+using sim::Simulation;
+using sim::Task;
+
+template <typename Fn>
+void
+runScenario(Simulation &sim, Fn &&body)
+{
+    struct Runner {
+        static Task<void>
+        run(Fn &body)
+        {
+            co_await body();
+        }
+    };
+    sim.spawn(Runner::run(body));
+    sim.run();
+}
+
+void
+appendBreakdown(std::ostringstream &out, const std::string &label,
+                const core::LatencyBreakdown &bd)
+{
+    out << "mode=" << label << " loadVmm=" << bd.loadVmm
+        << " fetchWs=" << bd.fetchWs << " installWs=" << bd.installWs
+        << " connRestore=" << bd.connRestore
+        << " processing=" << bd.processing << " total=" << bd.total
+        << " prefetched=" << bd.prefetchedPages
+        << " residual=" << bd.residualFaults << "\n";
+    for (const auto &t : bd.tierHits) {
+        out << "  tier=" << t.tier << " hits=" << t.hits
+            << " misses=" << t.misses << " admitted=" << t.admissions
+            << " bytes=" << t.bytes << " time=" << t.time << "\n";
+    }
+}
+
+/**
+ * The Fig. 7 walk over every registered mode, rendered as exact
+ * integers. One flushed, forced-cold invocation per mode, after a
+ * shared record phase; TieredReap is rendered twice — fresh worker
+ * (full chain walk to the remote tier) and warmed (admitted local
+ * copy) — since tier placement is the mode's design axis.
+ */
+std::string
+renderBreakdowns()
+{
+    Simulation sim;
+    WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    Worker w(sim, cfg);
+    std::ostringstream out;
+    runScenario(sim, [&]() -> Task<void> {
+        auto &orch = w.orchestrator();
+        orch.registerFunction(func::profileByName("helloworld"));
+        co_await orch.prepareSnapshot("helloworld");
+        orch.flushHostCaches();
+        // Shared record phase (Sec. 5.2.1).
+        (void)co_await orch.invoke("helloworld", ColdStartMode::Reap);
+
+        InvokeOptions opts;
+        opts.flushPageCache = true;
+        opts.forceCold = true;
+        for (ColdStartMode mode : orch.loaders().modes()) {
+            const char *label =
+                orch.loaders().loaderFor(mode).name();
+            if (mode == ColdStartMode::TieredReap) {
+                // RemoteReap already staged the artifacts, so stage
+                // invalidation never ran: evict explicitly to render
+                // the fresh-worker chain walk, then the warmed one.
+                orch.evictLocalArtifacts("helloworld");
+                auto fresh = co_await orch.invoke("helloworld", mode,
+                                                  opts);
+                appendBreakdown(out, std::string(label) + "[fresh]",
+                                fresh);
+                auto warmed = co_await orch.invoke("helloworld", mode,
+                                                   opts);
+                appendBreakdown(out, std::string(label) + "[warmed]",
+                                warmed);
+                continue;
+            }
+            auto bd = co_await orch.invoke("helloworld", mode, opts);
+            appendBreakdown(out, label, bd);
+        }
+    });
+    return out.str();
+}
+
+std::string
+goldenPath()
+{
+    return std::string(VHIVE_GOLDEN_DIR) + "/fig7_breakdown.txt";
+}
+
+TEST(GoldenTrace, Fig7BreakdownMatchesCheckedInBaseline)
+{
+    std::string actual = renderBreakdowns();
+
+    if (std::getenv("VHIVE_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath(), std::ios::trunc);
+        ASSERT_TRUE(out.good())
+            << "cannot write " << goldenPath();
+        out << actual;
+        std::printf("regenerated %s\n", goldenPath().c_str());
+        return;
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in.good())
+        << "missing " << goldenPath()
+        << " — generate it with VHIVE_UPDATE_GOLDEN=1 ./test_golden";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str())
+        << "per-segment breakdown drifted from the checked-in "
+           "baseline.\nIf the change is an intentional model or "
+           "calibration change, regenerate\nwith VHIVE_UPDATE_GOLDEN=1 "
+           "./test_golden and commit the diff.";
+}
+
+TEST(GoldenTrace, BreakdownBitIdenticalAcrossRuns)
+{
+    // Two independent simulations must render byte-identical output;
+    // this is the determinism the golden diff above stands on.
+    EXPECT_EQ(renderBreakdowns(), renderBreakdowns());
+}
+
+} // namespace
+} // namespace vhive
