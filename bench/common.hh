@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "sim/simulation.hh"
 #include "sim/task.hh"
@@ -76,6 +78,69 @@ banner(const char *title)
 {
     std::printf("\n=== %s ===\n\n", title);
 }
+
+/**
+ * Machine-readable perf export. When `VHIVE_BENCH_JSON=<path>` is set,
+ * every row() call appends one object to a JSON array written at
+ * <path>, so a bench run leaves a `BENCH_*.json` artifact whose rows
+ * (cell, metric, value, events/sec) can be tracked across PRs and
+ * checked against a regression floor in CI. With the variable unset
+ * the writer is a silent no-op, so interactive runs are unaffected.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(const char *benchName) : bench(benchName)
+    {
+        const char *path = std::getenv("VHIVE_BENCH_JSON");
+        if (!path || !*path)
+            return;
+        out = std::fopen(path, "w");
+        if (out)
+            std::fputc('[', out);
+    }
+
+    ~JsonWriter()
+    {
+        if (out) {
+            std::fputs("\n]\n", out);
+            std::fclose(out);
+        }
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /**
+     * Emit one result row. @p cell names the sweep point (e.g.
+     * "concurrency=64/reap"), @p metric the measured quantity.
+     * A negative @p eventsPerSec omits that field.
+     */
+    void
+    row(const std::string &cell, const std::string &metric, double value,
+        double eventsPerSec = -1)
+    {
+        if (!out)
+            return;
+        std::fprintf(out,
+                     "%s\n  {\"bench\": \"%s\", \"cell\": \"%s\", "
+                     "\"metric\": \"%s\", \"value\": %.6g",
+                     first ? "" : ",", bench, cell.c_str(),
+                     metric.c_str(), value);
+        if (eventsPerSec >= 0)
+            std::fprintf(out, ", \"events_per_sec\": %.6g", eventsPerSec);
+        std::fputc('}', out);
+        first = false;
+    }
+
+    /** True when an output file is being written. */
+    bool enabled() const { return out != nullptr; }
+
+  private:
+    const char *bench;
+    std::FILE *out = nullptr;
+    bool first = true;
+};
 
 } // namespace vhive::bench
 

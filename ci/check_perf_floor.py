@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against a checked-in floor.
+
+Usage: check_perf_floor.py <floor.json> <bench.json>...
+
+floor.json maps bench name -> cell -> expected events/sec. A row in
+the BENCH_*.json artifacts (written by the benches when
+VHIVE_BENCH_JSON is set) fails the gate when its events/sec drops more
+than 30% below the floor. Floors are calibrated conservatively (about
+half the dev-box throughput) because GitHub-hosted runner pools span
+~2x in single-thread speed; the gate is meant to catch large kernel
+regressions (an O(log n) event path sneaking back in), not small ones.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.70  # fail when below floor * TOLERANCE
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip())
+        return 2
+    with open(sys.argv[1]) as f:
+        floors = json.load(f)
+    rows = []
+    for path in sys.argv[2:]:
+        with open(path) as f:
+            rows += json.load(f)
+
+    failed = False
+    for bench, cells in floors.items():
+        for cell, floor in cells.items():
+            match = [
+                r
+                for r in rows
+                if r["bench"] == bench
+                and r["cell"] == cell
+                and "events_per_sec" in r
+            ]
+            if not match:
+                print(f"MISSING   {bench}/{cell}: no row in artifacts")
+                failed = True
+                continue
+            got = max(r["events_per_sec"] for r in match)
+            limit = floor * TOLERANCE
+            ok = got >= limit
+            print(
+                f"{'ok' if ok else 'REGRESSED':9s} {bench}/{cell}: "
+                f"{got / 1e6:.2f} Mev/s "
+                f"(floor {floor / 1e6:.2f}, limit {limit / 1e6:.2f})"
+            )
+            failed |= not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

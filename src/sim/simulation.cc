@@ -19,12 +19,17 @@ Simulation::~Simulation()
 {
     _tearingDown = true;
     // Reclaim detached forever-loop tasks that never completed. Their
-    // frames cascade-destroy any structured children they own. Copy the
-    // set first: child destruction may unregister entries.
-    std::vector<void *> pending(detached.begin(), detached.end());
-    detached.clear();
-    for (void *addr : pending)
-        std::coroutine_handle<>::from_address(addr).destroy();
+    // frames cascade-destroy any structured children they own. Unlink
+    // each promise before destroying it so a re-entrant unregister
+    // (from child teardown) sees a consistent list.
+    while (detachedHead) {
+        detail::PromiseBase *p = detachedHead;
+        detachedHead = p->detachedNext;
+        if (detachedHead)
+            detachedHead->detachedPrev = nullptr;
+        p->detachedPrev = p->detachedNext = nullptr;
+        p->self.destroy();
+    }
 }
 
 void
@@ -34,7 +39,7 @@ Simulation::schedule(std::coroutine_handle<> h, Time when)
     if (when < _now)
         panic("scheduling into the past (%lld < %lld)",
               static_cast<long long>(when), static_cast<long long>(_now));
-    queue.push(Event{when, nextSeq++, h});
+    queue.push(when, nextSeq++, h, _now);
 }
 
 void
@@ -53,20 +58,34 @@ Simulation::spawn(Task<void> task)
     p.started = true;
     p.detached = true;
     p.sim = this;
-    registerDetached(handle);
+    p.self = handle;
+    registerDetached(p);
     schedule(handle, _now);
 }
 
 void
-Simulation::registerDetached(std::coroutine_handle<> h)
+Simulation::registerDetached(detail::PromiseBase &p)
 {
-    detached.insert(h.address());
+    p.detachedPrev = nullptr;
+    p.detachedNext = detachedHead;
+    if (detachedHead)
+        detachedHead->detachedPrev = &p;
+    detachedHead = &p;
 }
 
 void
-Simulation::unregisterDetached(std::coroutine_handle<> h)
+Simulation::unregisterDetached(detail::PromiseBase &p)
 {
-    detached.erase(h.address());
+    if (p.detachedPrev) {
+        p.detachedPrev->detachedNext = p.detachedNext;
+    } else if (detachedHead == &p) {
+        detachedHead = p.detachedNext;
+    } else {
+        return; // already unlinked (teardown popped it first)
+    }
+    if (p.detachedNext)
+        p.detachedNext->detachedPrev = p.detachedPrev;
+    p.detachedPrev = p.detachedNext = nullptr;
 }
 
 void
@@ -84,8 +103,7 @@ Time
 Simulation::run()
 {
     while (!queue.empty()) {
-        Event ev = queue.top();
-        queue.pop();
+        Event ev = queue.pop();
         step(ev);
     }
     return _now;
@@ -95,9 +113,8 @@ void
 Simulation::runUntil(Time until)
 {
     VHIVE_ASSERT(until >= _now);
-    while (!queue.empty() && queue.top().when <= until) {
-        Event ev = queue.top();
-        queue.pop();
+    while (!queue.empty() && queue.nextWhen() <= until) {
+        Event ev = queue.pop();
         step(ev);
     }
     _now = until;

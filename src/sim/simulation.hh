@@ -6,6 +6,13 @@
  *
  * Determinism: events at equal timestamps fire in schedule (FIFO) order,
  * so a given seed always produces bit-identical results.
+ *
+ * Hot-path design (see event_queue.hh and frame_pool.hh for the two
+ * main pieces): same-timestamp wakeups go through an O(1) FIFO ring,
+ * future events through a binary (when, seq) min-heap; coroutine
+ * frames come from slab-backed free lists; and detached tasks sit on
+ * an intrusive list threaded through their promises, so
+ * spawn/complete never hashes or allocates registry nodes.
  */
 
 #ifndef VHIVE_SIM_SIMULATION_HH
@@ -13,16 +20,18 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/event_queue.hh"
 #include "util/units.hh"
 
 namespace vhive::sim {
 
 template <typename T>
 class Task;
+
+namespace detail {
+struct PromiseBase;
+} // namespace detail
 
 /**
  * The simulation kernel: virtual clock plus pending-event queue.
@@ -109,30 +118,15 @@ class Simulation
 
     /** @name Detached-task registry (internal; used by Task). */
     /// @{
-    void registerDetached(std::coroutine_handle<> h);
-    void unregisterDetached(std::coroutine_handle<> h);
+    void registerDetached(detail::PromiseBase &p);
+    void unregisterDetached(detail::PromiseBase &p);
     /// @}
 
   private:
-    struct Event {
-        Time when;
-        std::uint64_t seq;
-        std::coroutine_handle<> handle;
-
-        bool
-        operator>(const Event &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            return seq > o.seq;
-        }
-    };
-
     void step(const Event &ev);
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        queue;
-    std::unordered_set<void *> detached;
+    EventQueue queue;
+    detail::PromiseBase *detachedHead = nullptr;
     Time _now = 0;
     std::uint64_t nextSeq = 0;
     std::int64_t _eventsProcessed = 0;

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SmallRing<T, N>: a FIFO queue with inline capacity for N elements,
+ * spilling to a heap-allocated power-of-two ring only when it grows
+ * past N.
+ *
+ * The sync primitives (Gate, Semaphore, Channel) queue waiters and
+ * values in FIFO order, and the common case across the whole simulator
+ * is a queue depth of 0-4: a Semaphore convoy hands off to the front
+ * waiter, a Channel ping-pong never buffers more than one value. A
+ * std::deque pays a ~500-byte map allocation for that; SmallRing keeps
+ * short queues entirely inside the owning primitive so the hot path
+ * never touches the allocator.
+ */
+
+#ifndef VHIVE_SIM_SMALL_RING_HH
+#define VHIVE_SIM_SMALL_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vhive::sim {
+
+template <typename T, std::size_t InlineN = 4>
+class SmallRing
+{
+    static_assert((InlineN & (InlineN - 1)) == 0,
+                  "inline capacity must be a power of two");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned element types are not supported");
+
+  public:
+    SmallRing() = default;
+
+    SmallRing(const SmallRing &) = delete;
+    SmallRing &operator=(const SmallRing &) = delete;
+
+    ~SmallRing()
+    {
+        clear();
+        if (!isInline())
+            ::operator delete(buf);
+    }
+
+    bool empty() const { return count == 0; }
+
+    std::size_t size() const { return count; }
+
+    T &front() { return *slot(0); }
+    const T &front() const { return *slot(0); }
+
+    void
+    pushBack(T v)
+    {
+        if (count == cap)
+            grow();
+        ::new (static_cast<void *>(slot(count))) T(std::move(v));
+        ++count;
+    }
+
+    T
+    popFront()
+    {
+        T *p = slot(0);
+        T v = std::move(*p);
+        p->~T();
+        head = (head + 1) & (cap - 1);
+        --count;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        while (count > 0)
+            (void)popFront();
+    }
+
+  private:
+    bool
+    isInline() const
+    {
+        return buf == reinterpret_cast<const T *>(inlineBuf);
+    }
+
+    T *
+    slot(std::size_t i)
+    {
+        return buf + ((head + i) & (cap - 1));
+    }
+
+    const T *
+    slot(std::size_t i) const
+    {
+        return buf + ((head + i) & (cap - 1));
+    }
+
+    void
+    grow()
+    {
+        std::size_t newCap = cap * 2;
+        T *next =
+            static_cast<T *>(::operator new(newCap * sizeof(T)));
+        for (std::size_t i = 0; i < count; ++i) {
+            T *p = slot(i);
+            ::new (static_cast<void *>(next + i)) T(std::move(*p));
+            p->~T();
+        }
+        if (!isInline())
+            ::operator delete(buf);
+        buf = next;
+        cap = newCap;
+        head = 0;
+    }
+
+    alignas(T) unsigned char inlineBuf[InlineN * sizeof(T)];
+    T *buf = reinterpret_cast<T *>(inlineBuf);
+    std::size_t cap = InlineN;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace vhive::sim
+
+#endif // VHIVE_SIM_SMALL_RING_HH

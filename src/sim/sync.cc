@@ -8,19 +8,16 @@ Gate::openGate()
     if (open)
         return;
     open = true;
-    for (auto h : waiters)
-        sim.schedule(h, sim.now());
-    waiters.clear();
+    while (!waiters.empty())
+        sim.schedule(waiters.popFront(), sim.now());
 }
 
 void
 Semaphore::release()
 {
     if (!waiters.empty()) {
-        auto h = waiters.front();
-        waiters.pop_front();
         // Hand the permit directly to the waiter: available stays 0.
-        sim.schedule(h, sim.now());
+        sim.schedule(waiters.popFront(), sim.now());
     } else {
         ++available;
     }

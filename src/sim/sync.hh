@@ -10,11 +10,11 @@
 #define VHIVE_SIM_SYNC_HH
 
 #include <coroutine>
-#include <deque>
 #include <optional>
-#include <vector>
+#include <utility>
 
 #include "sim/simulation.hh"
+#include "sim/small_ring.hh"
 #include "util/logging.hh"
 
 namespace vhive::sim {
@@ -47,7 +47,7 @@ class Gate
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                gate.waiters.push_back(h);
+                gate.waiters.pushBack(h);
             }
             void await_resume() const noexcept {}
         };
@@ -56,7 +56,7 @@ class Gate
 
   private:
     Simulation &sim;
-    std::vector<std::coroutine_handle<>> waiters;
+    SmallRing<std::coroutine_handle<>> waiters;
     bool open = false;
 };
 
@@ -127,7 +127,7 @@ class Semaphore
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                sem.waiters.push_back(h);
+                sem.waiters.pushBack(h);
             }
             void await_resume() const noexcept {}
         };
@@ -148,7 +148,7 @@ class Semaphore
 
   private:
     Simulation &sim;
-    std::deque<std::coroutine_handle<>> waiters;
+    SmallRing<std::coroutine_handle<>> waiters;
     std::int64_t available;
 };
 
@@ -170,6 +170,18 @@ class SemaphoreGuard
     SemaphoreGuard(SemaphoreGuard &&o) noexcept : sem(o.sem)
     {
         o.sem = nullptr;
+    }
+
+    /** Move assignment releases any permit this guard already holds. */
+    SemaphoreGuard &
+    operator=(SemaphoreGuard &&o) noexcept
+    {
+        if (this != &o) {
+            if (sem)
+                sem->release();
+            sem = std::exchange(o.sem, nullptr);
+        }
+        return *this;
     }
 
   private:
@@ -199,12 +211,11 @@ class Channel
     send(T value)
     {
         if (!receivers.empty()) {
-            RecvWaiter w = receivers.front();
-            receivers.pop_front();
+            RecvWaiter w = receivers.popFront();
             w.slot->emplace(std::move(value));
             sim.schedule(w.handle, sim.now());
         } else {
-            values.push_back(std::move(value));
+            values.pushBack(std::move(value));
         }
     }
 
@@ -214,14 +225,13 @@ class Channel
     {
         struct Awaiter {
             Channel &ch;
-            std::optional<T> slot;
+            std::optional<T> slot{};
 
             bool
             await_ready()
             {
                 if (!ch.values.empty()) {
-                    slot.emplace(std::move(ch.values.front()));
-                    ch.values.pop_front();
+                    slot.emplace(ch.values.popFront());
                     return true;
                 }
                 return false;
@@ -230,7 +240,7 @@ class Channel
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                ch.receivers.push_back(RecvWaiter{h, &slot});
+                ch.receivers.pushBack(RecvWaiter{h, &slot});
             }
 
             T await_resume() { return std::move(*slot); }
@@ -254,8 +264,8 @@ class Channel
     };
 
     Simulation &sim;
-    std::deque<T> values;
-    std::deque<RecvWaiter> receivers;
+    SmallRing<T, 8> values;
+    SmallRing<RecvWaiter> receivers;
 };
 
 } // namespace vhive::sim

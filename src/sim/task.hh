@@ -17,10 +17,12 @@
 #define VHIVE_SIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.hh"
 #include "sim/simulation.hh"
 #include "util/logging.hh"
 
@@ -39,6 +41,30 @@ struct PromiseBase
     bool started = false;
     bool detached = false;
     std::exception_ptr exception;
+
+    /**
+     * Intrusive detached-registry state (see
+     * Simulation::registerDetached): spawn links the promise into the
+     * simulation's list and records the type-erased frame handle for
+     * teardown, so detaching costs two pointer writes instead of a
+     * hash-set insertion.
+     */
+    std::coroutine_handle<> self;
+    PromiseBase *detachedPrev = nullptr;
+    PromiseBase *detachedNext = nullptr;
+
+    /** Coroutine frames come from the slab pool, not malloc. */
+    static void *
+    operator new(std::size_t n)
+    {
+        return FramePool::allocate(n);
+    }
+
+    static void
+    operator delete(void *p, std::size_t n) noexcept
+    {
+        FramePool::deallocate(p, n);
+    }
 
     std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -65,7 +91,7 @@ struct PromiseBase
                     panic("unhandled exception in detached sim task");
                 }
                 if (p.sim)
-                    p.sim->unregisterDetached(h);
+                    p.sim->unregisterDetached(p);
                 h.destroy();
             }
             return std::noop_coroutine();

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "sim/frame_pool.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -345,6 +347,127 @@ TEST(Semaphore, QueueLengthVisible)
     EXPECT_EQ(sem.availablePermits(), 1);
 }
 
+TEST(Semaphore, GuardMoveAssignReleasesHeldPermit)
+{
+    struct T {
+        static Task<void>
+        run(Semaphore &a, Semaphore &b)
+        {
+            co_await a.acquire();
+            SemaphoreGuard ga(a);
+            co_await b.acquire();
+            SemaphoreGuard gb(b);
+            // Assigning over a live guard must release its permit
+            // immediately, then adopt the other guard's.
+            ga = std::move(gb);
+            EXPECT_EQ(a.availablePermits(), 1);
+            EXPECT_EQ(b.availablePermits(), 0);
+        }
+    };
+    Simulation sim;
+    Semaphore a(sim, 1), b(sim, 1);
+    sim.spawn(T::run(a, b));
+    sim.run();
+    // ga released b's permit at scope exit; the moved-from gb did
+    // not double-release anything.
+    EXPECT_EQ(a.availablePermits(), 1);
+    EXPECT_EQ(b.availablePermits(), 1);
+}
+
+TEST(Semaphore, GuardMoveAssignIntoEmptyGuard)
+{
+    struct T {
+        static Task<void>
+        run(Semaphore &sem)
+        {
+            co_await sem.acquire();
+            SemaphoreGuard held(sem);
+            SemaphoreGuard empty(std::move(held));
+            // `held` is now empty; assigning into it must not release.
+            held = std::move(empty);
+            EXPECT_EQ(sem.availablePermits(), 0);
+        }
+    };
+    Simulation sim;
+    Semaphore sem(sim, 1);
+    sim.spawn(T::run(sem));
+    sim.run();
+    EXPECT_EQ(sem.availablePermits(), 1);
+}
+
+namespace frame_pool_test {
+
+Task<void>
+shortLived(Simulation &sim)
+{
+    co_await sim.delay(1);
+}
+
+Task<void>
+driver(Simulation &sim, int waves, int perWave)
+{
+    for (int w = 0; w < waves; ++w) {
+        for (int i = 0; i < perWave; ++i)
+            sim.spawn(shortLived(sim));
+        co_await sim.delay(2);
+    }
+}
+
+void
+runChurn()
+{
+    Simulation sim;
+    sim.spawn(driver(sim, 40, 8));
+    sim.run();
+}
+
+} // namespace frame_pool_test
+
+TEST(FramePool, SteadyStateChurnReusesFramesWithoutCarving)
+{
+    if (!FramePool::pooling())
+        GTEST_SKIP() << "frame pool bypassed under sanitizers";
+    // Warm the size classes, then verify an identical second run is
+    // served entirely from recycled frames: no fresh slab memory, and
+    // teardown returns every frame to the pool.
+    frame_pool_test::runChurn();
+    auto mid = FramePool::stats();
+    auto liveMid = FramePool::liveFrames();
+
+    frame_pool_test::runChurn();
+    auto after = FramePool::stats();
+
+    EXPECT_GT(after.poolAllocs, mid.poolAllocs);
+    EXPECT_EQ(after.carvedBlocks, mid.carvedBlocks);
+    EXPECT_EQ(after.slabBytes, mid.slabBytes);
+    EXPECT_EQ(FramePool::liveFrames(), liveMid);
+}
+
+TEST(FramePool, TeardownReturnsBlockedTaskFrames)
+{
+    struct Blocked {
+        static Task<void>
+        run(Gate &gate)
+        {
+            co_await gate.wait();
+        }
+    };
+    if (!FramePool::pooling())
+        GTEST_SKIP() << "frame pool bypassed under sanitizers";
+    auto live0 = FramePool::liveFrames();
+    {
+        Simulation sim;
+        Gate gate(sim);
+        for (int i = 0; i < 10; ++i)
+            sim.spawn(Blocked::run(gate));
+        sim.run();
+        EXPECT_GE(FramePool::liveFrames(), live0 + 10);
+    }
+    // Simulation teardown destroyed the blocked frames; all of them
+    // went back to the free lists.
+    EXPECT_EQ(FramePool::liveFrames(), live0);
+}
+
 TEST(Channel, DeliversFifo)
 {
     struct Producer {
@@ -410,7 +533,7 @@ TEST(Channel, HandoffIsNotStolenByLateReceiver)
     };
     struct Sender {
         static Task<void>
-        run(Simulation &sim, Channel<int> &ch, std::vector<int> &order)
+        run(Simulation &sim, Channel<int> &ch)
         {
             co_await sim.delay(msec(1));
             ch.send(7);
@@ -421,7 +544,7 @@ TEST(Channel, HandoffIsNotStolenByLateReceiver)
     Channel<int> ch(sim);
     std::vector<int> order;
     sim.spawn(Recv::run(ch, order, 1));
-    sim.spawn(Sender::run(sim, ch, order));
+    sim.spawn(Sender::run(sim, ch));
     sim.spawn(Recv::run(ch, order, 2)); // blocks: only one value sent
     sim.run();
     ASSERT_EQ(order.size(), 1u);

@@ -84,6 +84,88 @@ TEST(SimulationEdge, HighVolumeEventOrdering)
         EXPECT_EQ(order[static_cast<size_t>(i)], n - 1 - i);
 }
 
+TEST(SimulationEdge, RunUntilFiresEventExactlyAtBoundary)
+{
+    Simulation sim;
+    std::vector<int> log;
+    struct T {
+        static Task<void>
+        run(Simulation &sim, std::vector<int> &log, Duration d, int id)
+        {
+            co_await sim.delay(d);
+            log.push_back(id);
+        }
+    };
+    sim.spawn(T::run(sim, log, msec(10), 1)); // exactly at `until`
+    sim.spawn(T::run(sim, log, msec(10) + 1, 2));
+    sim.runUntil(msec(10));
+    EXPECT_EQ(log, std::vector<int>({1}));
+    EXPECT_EQ(sim.now(), msec(10));
+    sim.run();
+    EXPECT_EQ(log, std::vector<int>({1, 2}));
+}
+
+TEST(SimulationEdge, ScheduleAtNowAfterRunUntilDrains)
+{
+    // runUntil advances the clock past the last event; a spawn at the
+    // new current time must still run at exactly that time.
+    Simulation sim;
+    Time ran_at = -1;
+    struct T {
+        static Task<void>
+        run(Simulation &sim, Time &ran_at)
+        {
+            ran_at = sim.now();
+            co_return;
+        }
+    };
+    sim.runUntil(msec(5));
+    sim.spawn(T::run(sim, ran_at));
+    sim.run();
+    EXPECT_EQ(ran_at, msec(5));
+    EXPECT_EQ(sim.now(), msec(5));
+}
+
+TEST(SimulationEdge, FutureAndNowWakeupsInterleaveFifoAtOneInstant)
+{
+    // A and B sleep to the same future instant T (future-heap path,
+    // scheduled in that order). When A wakes at T it spawns C
+    // (now-queue path). FIFO seq order at T is A, B, C: B's earlier
+    // schedule must not be overtaken by the freshly spawned C.
+    Simulation sim;
+    std::vector<char> order;
+    struct C {
+        static Task<void>
+        run(std::vector<char> &order)
+        {
+            order.push_back('C');
+            co_return;
+        }
+    };
+    struct A {
+        static Task<void>
+        run(Simulation &sim, std::vector<char> &order)
+        {
+            co_await sim.delay(msec(3));
+            order.push_back('A');
+            sim.spawn(C::run(order));
+        }
+    };
+    struct B {
+        static Task<void>
+        run(Simulation &sim, std::vector<char> &order)
+        {
+            co_await sim.delay(msec(3));
+            order.push_back('B');
+        }
+    };
+    sim.spawn(A::run(sim, order));
+    sim.spawn(B::run(sim, order));
+    sim.run();
+    EXPECT_EQ(order, std::vector<char>({'A', 'B', 'C'}));
+    EXPECT_EQ(sim.now(), msec(3));
+}
+
 TEST(SemaphoreEdge, FifoFairnessUnderContention)
 {
     Simulation sim;
