@@ -77,18 +77,25 @@ AzureWorkload::run()
 {
     co_await cluster.prepareAllSnapshots();
 
-    if (cfg.preRecordWorkingSets &&
-        cluster.config().coldStartMode == core::ColdStartMode::Reap) {
+    core::ColdStartMode mode = cluster.config().coldStartMode;
+    bool mode_needs_record = cluster.worker(0)
+                                 .orchestrator()
+                                 .loaders()
+                                 .loaderFor(mode)
+                                 .needsRecord();
+    if (cfg.preRecordWorkingSets && mode_needs_record &&
+        !cluster.config().sharedSnapshots) {
         // One record-phase invocation per function per worker, off
-        // the measured window.
+        // the measured window. (Shared staging already recorded once
+        // on each function's home worker; the other workers are meant
+        // to pull the staged artifacts remotely, in-window.)
         for (const auto &n : names) {
             for (int wi = 0; wi < cluster.workerCount(); ++wi) {
                 auto &orch = cluster.worker(wi).orchestrator();
                 orch.flushHostCaches();
                 core::InvokeOptions opts;
                 opts.forceCold = true;
-                (void)co_await orch.invoke(
-                    n, core::ColdStartMode::Reap, opts);
+                (void)co_await orch.invoke(n, mode, opts);
             }
         }
         cluster.resetStats();

@@ -1,21 +1,77 @@
 #include "cluster/cluster.hh"
 
+#include <algorithm>
+#include <optional>
+
 #include "net/rpc.hh"
 #include "util/logging.hh"
 
 namespace vhive::cluster {
 
+namespace {
+
+/**
+ * Decrements an in-flight counter on any exit path of the invoke
+ * coroutine — the same frame-destruction paths the queue-proxy
+ * SemaphoreGuard covers; a leaked count would permanently skew the
+ * load-aware routing policies.
+ */
+struct InFlightGuard
+{
+    explicit InFlightGuard(std::int64_t &c) : count(&c) { ++*count; }
+    ~InFlightGuard() { release(); }
+    InFlightGuard(const InFlightGuard &) = delete;
+    InFlightGuard &operator=(const InFlightGuard &) = delete;
+
+    void
+    release()
+    {
+        if (count != nullptr) {
+            --*count;
+            count = nullptr;
+        }
+    }
+
+  private:
+    std::int64_t *count;
+};
+
+} // namespace
+
 Cluster::Cluster(sim::Simulation &sim, ClusterConfig config)
     : sim(sim), cfg(std::move(config))
 {
     VHIVE_ASSERT(cfg.workers >= 1);
+    if (cfg.sharedSnapshots) {
+        if (cfg.coldStartMode != core::ColdStartMode::TieredReap &&
+            cfg.coldStartMode != core::ColdStartMode::RemoteReap) {
+            fatal("sharedSnapshots needs a remote-capable cold-start "
+                  "mode (TieredReap or RemoteReap), got %s",
+                  core::coldStartModeName(cfg.coldStartMode));
+        }
+        _sharedStore =
+            std::make_unique<net::ObjectStore>(sim, cfg.sharedStore);
+    }
     for (int i = 0; i < cfg.workers; ++i) {
         core::WorkerConfig wc = cfg.worker;
         // Each worker gets its own seed stream (distinct page layouts
         // do not matter, but determinism across runs does).
         wc.seed = cfg.worker.seed + static_cast<std::uint64_t>(i);
-        workers.push_back(std::make_unique<core::Worker>(sim, wc));
+        workers.push_back(std::make_unique<core::Worker>(
+            sim, wc, _sharedStore.get()));
     }
+    telemetry.resize(workers.size());
+    if (cfg.sharedSnapshots) {
+        _registry = std::make_unique<SnapshotRegistry>(
+            sim, *_sharedStore, workers, cfg.coldStartMode);
+    }
+    activePolicy = &_policies.policyFor(cfg.routingPolicy);
+}
+
+void
+Cluster::setRoutingPolicy(RoutingPolicyKind kind)
+{
+    activePolicy = &_policies.policyFor(kind);
 }
 
 void
@@ -38,23 +94,46 @@ Cluster::deploy(const func::FunctionProfile &profile)
 sim::Task<void>
 Cluster::prepareAllSnapshots()
 {
+    if (_registry) {
+        // Build-once + fan-out: one snapshot build, one record phase
+        // and one put() per function, regardless of worker count.
+        for (auto &entry : deployments)
+            co_await _registry->ensureStaged(entry.first);
+        co_return;
+    }
     for (auto &entry : deployments) {
         for (auto &w : workers)
             co_await w->orchestrator().prepareSnapshot(entry.first);
     }
 }
 
-int
-Cluster::route(const std::string &name)
+std::int64_t
+Cluster::idleInstances(int worker, const std::string &name) const
 {
-    // Prefer a worker holding an idle warm instance; otherwise
-    // round-robin across the fleet.
-    for (size_t i = 0; i < workers.size(); ++i) {
-        if (workers[i]->orchestrator().idleInstanceCount(name) > 0)
-            return static_cast<int>(i);
-    }
-    rrCursor = (rrCursor + 1) % static_cast<int>(workers.size());
-    return rrCursor;
+    return workers[static_cast<size_t>(worker)]
+        ->orchestrator()
+        .idleInstanceCount(name);
+}
+
+std::int64_t
+Cluster::inFlight(int worker) const
+{
+    return telemetry[static_cast<size_t>(worker)].inFlight;
+}
+
+Bytes
+Cluster::residentBytes(int worker) const
+{
+    return workers[static_cast<size_t>(worker)]
+        ->orchestrator()
+        .totalResidentBytes();
+}
+
+bool
+Cluster::artifactsLocal(int worker, const std::string &name) const
+{
+    const auto &orch = workers[static_cast<size_t>(worker)]->orchestrator();
+    return orch.hasFunction(name) && orch.artifactsLocal(name);
 }
 
 sim::Task<Duration>
@@ -70,32 +149,70 @@ Cluster::invoke(const std::string &name)
     net::RpcParams rpc;
     co_await sim.delay(rpc.clusterHop);
 
-    // Queue-proxy admission: bound in-flight invocations, FIFO.
+    // Queue-proxy admission: bound in-flight invocations, FIFO. The
+    // guard releases the slot on any exit path (including frame
+    // destruction of a cancelled task); the explicit reset below keeps
+    // the release at the same simulated point as before.
+    std::optional<sim::SemaphoreGuard> admission;
     if (dep.concurrency) {
         Time q0 = sim.now();
         co_await dep.concurrency->acquire();
+        admission.emplace(*dep.concurrency);
         dep.stats.queueDelayMs.add(toMs(sim.now() - q0));
     }
 
-    int widx = route(name);
+    int widx = activePolicy->route(RouteContext{name, *this});
+    VHIVE_ASSERT(widx >= 0 && widx < workerCount());
+    auto &orch = workers[static_cast<size_t>(widx)]->orchestrator();
+    WorkerTelemetry &tele = telemetry[static_cast<size_t>(widx)];
+
+    // Whether the cold start (if any) will pull staged artifacts
+    // through the remote tier rather than a local copy.
+    bool artifacts_were_local =
+        _registry == nullptr || orch.artifactsLocal(name);
+
+    InFlightGuard in_flight(tele.inFlight);
+    tele.inFlightPeak = std::max(tele.inFlightPeak, tele.inFlight);
     core::InvokeOptions opts;
     opts.keepWarm = true;
-    auto bd = co_await workers[static_cast<size_t>(widx)]
-                  ->orchestrator()
-                  .invoke(name, cfg.coldStartMode, opts);
+    auto bd = co_await orch.invoke(name, cfg.coldStartMode, opts);
+    in_flight.release();
 
-    if (dep.concurrency)
-        dep.concurrency->release();
+    admission.reset(); // return the queue-proxy slot
 
     co_await sim.delay(rpc.clusterHop); // response hop
     Duration e2e = sim.now() - t0;
 
     dep.lastUsed[static_cast<size_t>(widx)] = sim.now();
     dep.stats.e2eLatencyMs.add(toMs(e2e));
-    if (bd.cold)
+    if (bd.cold) {
         ++dep.stats.coldStarts;
-    else
+        ++tele.coldStarts;
+        fleetColdMs.add(toMs(e2e));
+        for (const auto &t : bd.tierHits)
+            mergeTierRow(tele.tierHits, t);
+        if (_registry) {
+            // RemoteReap GETs the artifacts on every cold start no
+            // matter what lives locally. Tiered chains report exactly
+            // which tier served the WS bytes; trust that over the
+            // pre-invoke snapshot (a concurrent cold start may have
+            // re-localized the artifacts while this one queued).
+            bool fetched_remotely =
+                cfg.coldStartMode ==
+                    core::ColdStartMode::RemoteReap ||
+                !artifacts_were_local;
+            for (const auto &t : bd.tierHits) {
+                if (t.tier == "remote")
+                    fetched_remotely = t.bytes > 0;
+            }
+            if (fetched_remotely)
+                _registry->noteRemoteFetch(name, widx);
+        }
+    } else {
         ++dep.stats.warmHits;
+        ++tele.warmHits;
+        fleetWarmMs.add(toMs(e2e));
+    }
     co_return e2e;
 }
 
@@ -126,11 +243,65 @@ Cluster::stats(const std::string &name) const
     return it->second.stats;
 }
 
+FleetStats
+Cluster::fleetStats() const
+{
+    FleetStats fs;
+    fs.workers = workerCount();
+    fs.coldE2eMs = fleetColdMs;
+    fs.warmE2eMs = fleetWarmMs;
+    for (size_t i = 0; i < workers.size(); ++i) {
+        const WorkerTelemetry &tele = telemetry[i];
+        WorkerFleetRow row;
+        row.worker = static_cast<int>(i);
+        row.coldStarts = tele.coldStarts;
+        row.warmHits = tele.warmHits;
+        row.inFlightPeak = tele.inFlightPeak;
+        row.residentBytes =
+            workers[i]->orchestrator().totalResidentBytes();
+        row.tierHits = tele.tierHits;
+        fs.residentBytes += row.residentBytes;
+        for (const auto &t : tele.tierHits)
+            mergeTierRow(fs.tierHits, t);
+        fs.perWorker.push_back(std::move(row));
+    }
+    if (_sharedStore) {
+        fs.store = _sharedStore->stats();
+    } else {
+        for (const auto &w : workers)
+            mergeStoreStats(fs.store, w->objectStore().stats());
+    }
+    if (_registry) {
+        fs.snapshotBuilds = _registry->totalBuilds();
+        fs.stagedBytes = _registry->totalStagedBytes();
+        fs.remoteArtifactFetches = _registry->totalRemoteFetches();
+        for (const auto &entry : deployments) {
+            if (_registry->isStaged(entry.first))
+                fs.fetchFanIn +=
+                    _registry->artifact(entry.first).fetchFanIn();
+        }
+    } else {
+        for (const auto &w : workers)
+            fs.snapshotBuilds += w->orchestrator().snapshotBuilds();
+    }
+    return fs;
+}
+
 void
 Cluster::resetStats()
 {
     for (auto &entry : deployments)
         entry.second.stats = FunctionClusterStats{};
+    for (auto &tele : telemetry) {
+        std::int64_t in_flight = tele.inFlight;
+        tele = WorkerTelemetry{};
+        // Live invocations stay counted, and remain the floor of the
+        // post-reset peak (the worker demonstrably carries them now).
+        tele.inFlight = in_flight;
+        tele.inFlightPeak = in_flight;
+    }
+    fleetColdMs.clear();
+    fleetWarmMs.clear();
 }
 
 sim::Task<void>
@@ -146,9 +317,13 @@ Cluster::janitor()
                     continue;
                 if (sim.now() - dep.lastUsed[i] >= cfg.keepAlive) {
                     // Scale to zero on this worker: idle instances
-                    // have outlived the keep-alive window.
-                    co_await orch.stopAllInstances(entry.first);
-                    ++dep.stats.scaleDowns;
+                    // have outlived the keep-alive window. Busy
+                    // instances are left to finish their in-flight
+                    // invocations.
+                    std::int64_t stopped =
+                        co_await orch.stopIdleInstances(entry.first);
+                    if (stopped > 0)
+                        ++dep.stats.scaleDowns;
                 }
             }
         }

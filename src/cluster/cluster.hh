@@ -1,11 +1,16 @@
 /**
  * @file
- * The vHive cluster layer (Sec. 3): a front-end/load-balancer (Istio
- * role) routing invocations to workers, and a Knative-style autoscaler
- * that keeps instances warm for a keep-alive window and scales to zero
- * afterwards — the policy that makes cold starts frequent in
- * production (Sec. 2.1: providers deallocate after 8-20 minutes of
- * inactivity).
+ * The vHive fleet control plane (Sec. 3): a front-end/load-balancer
+ * (Istio role) routing invocations to workers through a pluggable
+ * RoutingPolicy, a Knative-style autoscaler that keeps instances warm
+ * for a keep-alive window and scales to zero afterwards — the policy
+ * that makes cold starts frequent in production (Sec. 2.1: providers
+ * deallocate after 8-20 minutes of inactivity) — and, when
+ * cross-worker snapshot sharing is enabled, a SnapshotRegistry that
+ * stages each function's artifacts into a fleet-shared object store
+ * exactly once (Sec. 7.1). Fleet-wide observability (cold p50/p99,
+ * tier hits, store contention, resident memory) surfaces through
+ * fleetStats().
  */
 
 #ifndef VHIVE_CLUSTER_CLUSTER_HH
@@ -16,8 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fleet_stats.hh"
+#include "cluster/routing_policy.hh"
+#include "cluster/snapshot_registry.hh"
 #include "core/options.hh"
 #include "core/worker.hh"
+#include "net/object_store.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
 #include "util/stats.hh"
@@ -53,6 +62,23 @@ struct ClusterConfig
      * style eager scale-out).
      */
     int maxConcurrencyPerFunction = 0;
+
+    /** Which RoutingPolicy the front-end dispatches through. */
+    RoutingPolicyKind routingPolicy = RoutingPolicyKind::WarmFirst;
+
+    /**
+     * Cross-worker snapshot sharing (Sec. 7.1 at fleet scale): build
+     * each function's snapshot once on its home worker, stage the
+     * artifacts into one fleet-shared object store, and let every
+     * other worker cold-start through the remote tier instead of
+     * rebuilding. Requires a remote-capable cold-start mode
+     * (TieredReap or RemoteReap). Off by default: per-worker staging,
+     * bit-identical to the historical behaviour.
+     */
+    bool sharedSnapshots = false;
+
+    /** Parameters of the fleet-shared store (sharedSnapshots only). */
+    net::ObjectStoreParams sharedStore = net::ObjectStoreParams::remote();
 };
 
 /** Per-function cluster-level statistics. */
@@ -68,9 +94,9 @@ struct FunctionClusterStats
 /**
  * A cluster of workers behind a front-end. Functions are deployed
  * cluster-wide; invocations enter via invoke() and are routed to the
- * best worker (warm instance first, then least-loaded).
+ * worker picked by the active RoutingPolicy.
  */
-class Cluster
+class Cluster : private FleetView
 {
   public:
     Cluster(sim::Simulation &sim, ClusterConfig config);
@@ -81,7 +107,13 @@ class Cluster
     /** Deploy a function on every worker. */
     void deploy(const func::FunctionProfile &profile);
 
-    /** Build snapshots for all deployed functions on all workers. */
+    /**
+     * Make every deployed function cold-startable on every worker.
+     * Per-worker staging (default): build a snapshot on each worker.
+     * Shared staging (ClusterConfig::sharedSnapshots): build + record
+     * once per function on its home worker, put() the artifacts into
+     * the shared store, fan the metadata out (SnapshotRegistry).
+     */
     sim::Task<void> prepareAllSnapshots();
 
     /**
@@ -112,18 +144,37 @@ class Cluster
     /** Cluster-level stats for @p name. */
     const FunctionClusterStats &stats(const std::string &name) const;
 
-    /** Reset all per-function statistics (e.g. after warm-up). */
+    /** Fleet-wide aggregate (cold percentiles, tiers, contention). */
+    FleetStats fleetStats() const;
+
+    /** Reset all per-function statistics and fleet telemetry (e.g.
+     * after warm-up). Registry staging state is untouched. */
     void resetStats();
 
     /** Access a worker (for experiment-specific drilling). */
     core::Worker &worker(int idx) { return *workers[static_cast<size_t>(idx)]; }
 
-    int workerCount() const
+    int workerCount() const override
     {
         return static_cast<int>(workers.size());
     }
 
     const ClusterConfig &config() const { return cfg; }
+
+    /** The routing-strategy registry (extension point). */
+    RoutingPolicyRegistry &routingPolicies() { return _policies; }
+
+    /** Switch the active routing policy. */
+    void setRoutingPolicy(RoutingPolicyKind kind);
+
+    /** The active routing policy. */
+    RoutingPolicy &routingPolicy() { return *activePolicy; }
+
+    /** Shared snapshot registry; null unless sharedSnapshots. */
+    SnapshotRegistry *snapshotRegistry() { return _registry.get(); }
+
+    /** The fleet-shared store; null unless sharedSnapshots. */
+    net::ObjectStore *sharedObjectStore() { return _sharedStore.get(); }
 
   private:
     struct Deployment
@@ -136,17 +187,42 @@ class Cluster
         std::unique_ptr<sim::Semaphore> concurrency;
     };
 
-    /** Pick the worker for the next invocation of @p dep. */
-    int route(const std::string &name);
+    /** Per-worker front-end telemetry feeding fleetStats(). */
+    struct WorkerTelemetry
+    {
+        std::int64_t coldStarts = 0;
+        std::int64_t warmHits = 0;
+        std::int64_t inFlight = 0;
+        std::int64_t inFlightPeak = 0;
+        std::vector<core::TierBreakdown> tierHits;
+    };
+
+    /** @name FleetView (the slice policies may consult). */
+    /// @{
+    std::int64_t idleInstances(int worker,
+                               const std::string &name) const override;
+    std::int64_t inFlight(int worker) const override;
+    Bytes residentBytes(int worker) const override;
+    bool artifactsLocal(int worker,
+                        const std::string &name) const override;
+    /// @}
 
     /** Keep-alive janitor loop. */
     sim::Task<void> janitor();
 
     sim::Simulation &sim;
     ClusterConfig cfg;
+    /** Fleet-shared object store; created before the workers that
+     * borrow it (sharedSnapshots only). */
+    std::unique_ptr<net::ObjectStore> _sharedStore;
     std::vector<std::unique_ptr<core::Worker>> workers;
+    std::unique_ptr<SnapshotRegistry> _registry;
     std::map<std::string, Deployment> deployments;
-    int rrCursor = 0;
+    RoutingPolicyRegistry _policies;
+    RoutingPolicy *activePolicy = nullptr;
+    std::vector<WorkerTelemetry> telemetry;
+    Samples fleetColdMs;
+    Samples fleetWarmMs;
     bool autoscalerRunning = false;
     bool autoscalerStopping = false;
 };

@@ -1,0 +1,38 @@
+#include "cluster/fleet_stats.hh"
+
+#include <algorithm>
+
+namespace vhive::cluster {
+
+void
+mergeTierRow(std::vector<core::TierBreakdown> &into,
+             const core::TierBreakdown &row)
+{
+    for (auto &t : into) {
+        if (t.tier == row.tier) {
+            t.hits += row.hits;
+            t.misses += row.misses;
+            t.admissions += row.admissions;
+            t.bytes += row.bytes;
+            t.time += row.time;
+            return;
+        }
+    }
+    into.push_back(row);
+}
+
+void
+mergeStoreStats(net::ObjectStoreStats &a, const net::ObjectStoreStats &b)
+{
+    a.gets += b.gets;
+    a.puts += b.puts;
+    a.rangedGets += b.rangedGets;
+    a.bytesServed += b.bytesServed;
+    a.bytesStored += b.bytesStored;
+    a.streamWaits += b.streamWaits;
+    a.streamWaitTime += b.streamWaitTime;
+    a.peakStreamQueue =
+        std::max(a.peakStreamQueue, b.peakStreamQueue);
+}
+
+} // namespace vhive::cluster

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fleet-wide observability: one structure aggregating what the SeBS
+ * methodology (arXiv:2012.14132) says a serverless benchmark must
+ * report at fleet level — cold-start latency percentiles (p50/p99/
+ * p999) rather than single-host means, per-worker and fleet-summed
+ * tier-hit accounting, object-store stream contention, resident
+ * memory, and the snapshot-registry staging counters. Built on demand
+ * by Cluster::fleetStats().
+ */
+
+#ifndef VHIVE_CLUSTER_FLEET_STATS_HH
+#define VHIVE_CLUSTER_FLEET_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hh"
+#include "net/object_store.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace vhive::cluster {
+
+/** One worker's slice of the fleet telemetry. */
+struct WorkerFleetRow
+{
+    int worker = 0;
+    std::int64_t coldStarts = 0;
+    std::int64_t warmHits = 0;
+
+    /** Deepest concurrent in-flight load this worker ever carried. */
+    std::int64_t inFlightPeak = 0;
+
+    /** Resident instance memory at collection time. */
+    Bytes residentBytes = 0;
+
+    /** Summed LatencyBreakdown::tierHits of this worker's colds. */
+    std::vector<core::TierBreakdown> tierHits;
+};
+
+/** Fleet-level aggregate over all workers and deployed functions. */
+struct FleetStats
+{
+    int workers = 0;
+
+    /** End-to-end latency of every cold start across the fleet (ms). */
+    Samples coldE2eMs;
+
+    /** End-to-end latency of every warm hit across the fleet (ms). */
+    Samples warmE2eMs;
+
+    /** Resident instance memory summed across workers. */
+    Bytes residentBytes = 0;
+
+    std::vector<WorkerFleetRow> perWorker;
+
+    /** Per-tier accounting summed across workers. */
+    std::vector<core::TierBreakdown> tierHits;
+
+    /**
+     * Object-store traffic: the shared store when snapshot sharing is
+     * on, otherwise the per-worker stores summed. streamWaits /
+     * streamWaitTime / peakStreamQueue expose data-plane contention.
+     */
+    net::ObjectStoreStats store{};
+
+    /** @name Snapshot-registry staging counters (shared mode only). */
+    /// @{
+    std::int64_t snapshotBuilds = 0;
+    Bytes stagedBytes = 0;
+    std::int64_t remoteArtifactFetches = 0;
+    std::int64_t fetchFanIn = 0;
+    /// @}
+
+    double coldP50() const { return coldE2eMs.percentile(50); }
+    double coldP99() const { return coldE2eMs.percentile(99); }
+    double coldP999() const { return coldE2eMs.percentile(99.9); }
+};
+
+/**
+ * Merge one tier row into @p into, keyed by tier label (same label ->
+ * counters summed; new label -> appended in arrival order).
+ */
+void mergeTierRow(std::vector<core::TierBreakdown> &into,
+                  const core::TierBreakdown &row);
+
+/** Sum @p b's request/byte/contention counters into @p a. */
+void mergeStoreStats(net::ObjectStoreStats &a,
+                     const net::ObjectStoreStats &b);
+
+} // namespace vhive::cluster
+
+#endif // VHIVE_CLUSTER_FLEET_STATS_HH

@@ -1,0 +1,134 @@
+#include "cluster/snapshot_registry.hh"
+
+#include "cluster/routing_policy.hh"
+#include "util/logging.hh"
+
+namespace vhive::cluster {
+
+SnapshotRegistry::SnapshotRegistry(
+    sim::Simulation &sim, net::ObjectStore &store,
+    const std::vector<std::unique_ptr<core::Worker>> &workers,
+    core::ColdStartMode mode)
+    : sim(sim), store(store), workers(workers), mode(mode)
+{
+    VHIVE_ASSERT(!workers.empty());
+}
+
+int
+SnapshotRegistry::homeWorkerFor(const std::string &name) const
+{
+    // Same ring placement as LocalityHashPolicy, so a locality-routed
+    // function's home worker is also the one that built (and kept a
+    // local copy of) its artifacts.
+    return LocalityHashPolicy::homeWorker(
+        name, static_cast<int>(workers.size()));
+}
+
+sim::Task<void>
+SnapshotRegistry::ensureStaged(const std::string &name)
+{
+    Entry &e = entries[name];
+    if (e.art.staged)
+        co_return;
+    if (e.staging) {
+        co_await e.done->wait();
+        co_return;
+    }
+    e.staging = true;
+    if (!e.done)
+        e.done = std::make_unique<sim::Gate>(sim);
+
+    int home = homeWorkerFor(name);
+    e.art.homeWorker = home;
+    e.art.fetchedBy.assign(workers.size(), false);
+    core::Worker &hw = *workers[static_cast<size_t>(home)];
+    auto &orch = hw.orchestrator();
+
+    // Build once: boot + snapshot capture on the home worker.
+    std::int64_t builds0 = orch.snapshotBuilds();
+    co_await orch.prepareSnapshot(name);
+    e.art.builds += orch.snapshotBuilds() - builds0;
+
+    // Record once: the REAP-family record phase produces the WS and
+    // trace files the fleet will prefetch from.
+    if (!orch.hasRecord(name)) {
+        core::InvokeOptions opts;
+        opts.forceCold = true;
+        (void)co_await orch.invoke(name, mode, opts);
+    }
+
+    // Stage once: one put() of VMM state + WS file serves every
+    // worker (vs one staged copy per worker before).
+    Bytes bytes = core::stagedArtifactBytes(hw.config().vmm.vmmStateSize,
+                                            orch.record(name));
+    co_await store.put(bytes);
+    e.art.stagedBytes = bytes;
+
+    // Fan the metadata out; the artifact bytes move lazily, at each
+    // worker's first cold start, through the remote tier.
+    const core::WorkingSetRecord &rec = orch.record(name);
+    for (auto &w : workers)
+        w->orchestrator().adoptStagedArtifacts(name, rec);
+
+    e.art.staged = true;
+    e.staging = false;
+    e.done->openGate();
+}
+
+bool
+SnapshotRegistry::isStaged(const std::string &name) const
+{
+    auto it = entries.find(name);
+    return it != entries.end() && it->second.art.staged;
+}
+
+const StagedArtifact &
+SnapshotRegistry::artifact(const std::string &name) const
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        fatal("function %s was never staged", name.c_str());
+    return it->second.art;
+}
+
+void
+SnapshotRegistry::noteRemoteFetch(const std::string &name, int worker)
+{
+    auto it = entries.find(name);
+    if (it == entries.end() || !it->second.art.staged)
+        return;
+    StagedArtifact &art = it->second.art;
+    ++art.remoteFetches;
+    if (worker >= 0 &&
+        worker < static_cast<int>(art.fetchedBy.size()))
+        art.fetchedBy[static_cast<size_t>(worker)] = true;
+}
+
+std::int64_t
+SnapshotRegistry::totalBuilds() const
+{
+    std::int64_t n = 0;
+    for (const auto &entry : entries)
+        n += entry.second.art.builds;
+    return n;
+}
+
+Bytes
+SnapshotRegistry::totalStagedBytes() const
+{
+    Bytes n = 0;
+    for (const auto &entry : entries)
+        n += entry.second.art.stagedBytes;
+    return n;
+}
+
+std::int64_t
+SnapshotRegistry::totalRemoteFetches() const
+{
+    std::int64_t n = 0;
+    for (const auto &entry : entries)
+        n += entry.second.art.remoteFetches;
+    return n;
+}
+
+} // namespace vhive::cluster

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fleet-shared snapshot staging (the Sec. 7.1 consequence the per-
+ * worker cluster left on the table): snapshot artifacts can live in
+ * remote disaggregated storage, so a fleet needs to build and stage
+ * each function's snapshot + working-set artifacts exactly once — one
+ * build on a deterministic home worker, one put() into the shared
+ * object store — and every other worker cold-starts by pulling the
+ * staged artifact through its remote tier instead of rebuilding. The
+ * registry turns Cluster::prepareAllSnapshots() from an
+ * O(functions x workers) serial build loop into build-once + fan-out
+ * metadata adoption, and tracks per-function staged bytes and fetch
+ * fan-in (how many workers ever pulled the artifact remotely).
+ */
+
+#ifndef VHIVE_CLUSTER_SNAPSHOT_REGISTRY_HH
+#define VHIVE_CLUSTER_SNAPSHOT_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.hh"
+#include "core/worker.hh"
+#include "net/object_store.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::cluster {
+
+/** What the registry knows about one staged function. */
+struct StagedArtifact
+{
+    /** Worker that built and recorded the artifacts. */
+    int homeWorker = -1;
+
+    /** Snapshot builds performed for this function (must stay 1). */
+    std::int64_t builds = 0;
+
+    /** Bytes put() into the shared store (VMM state + WS file). */
+    Bytes stagedBytes = 0;
+
+    /** Cold starts that pulled the artifact through the remote tier. */
+    std::int64_t remoteFetches = 0;
+
+    /** Which workers ever pulled remotely (fan-in bitmap). */
+    std::vector<bool> fetchedBy;
+
+    bool staged = false;
+
+    /** Distinct workers that pulled the staged artifact remotely. */
+    std::int64_t
+    fetchFanIn() const
+    {
+        std::int64_t n = 0;
+        for (bool b : fetchedBy)
+            n += b ? 1 : 0;
+        return n;
+    }
+};
+
+/**
+ * Stages each deployed function's artifacts into the shared object
+ * store exactly once, even under concurrent ensureStaged() calls (the
+ * first caller builds, later callers wait on a per-function gate).
+ * Owned by Cluster when cross-worker snapshot sharing is enabled.
+ */
+class SnapshotRegistry
+{
+  public:
+    /**
+     * @param workers The fleet (borrowed; the owning Cluster outlives
+     * the registry). @param mode The cluster's cold-start mode — used
+     * for the home worker's record-phase invocation so the recorded
+     * artifacts match what the fleet will restore with.
+     */
+    SnapshotRegistry(
+        sim::Simulation &sim, net::ObjectStore &store,
+        const std::vector<std::unique_ptr<core::Worker>> &workers,
+        core::ColdStartMode mode);
+
+    SnapshotRegistry(const SnapshotRegistry &) = delete;
+    SnapshotRegistry &operator=(const SnapshotRegistry &) = delete;
+
+    /**
+     * Build + stage @p name's artifacts if not already staged: boot
+     * and snapshot on the home worker, run the record phase there,
+     * put() the artifacts into the shared store, then fan the metadata
+     * out to every other worker (adoptStagedArtifacts). Concurrent
+     * callers for the same function wait for the single in-flight
+     * staging instead of duplicating it.
+     */
+    sim::Task<void> ensureStaged(const std::string &name);
+
+    /** Whether @p name has been staged. */
+    bool isStaged(const std::string &name) const;
+
+    /** Staging record for @p name (must be staged or staging). */
+    const StagedArtifact &artifact(const std::string &name) const;
+
+    /** Deterministic home worker for @p name (hash on the ring). */
+    int homeWorkerFor(const std::string &name) const;
+
+    /** Called by the front-end when a cold start on @p worker pulled
+     * the artifact through the remote tier. */
+    void noteRemoteFetch(const std::string &name, int worker);
+
+    /** Sum of builds across functions (one each when sharing works). */
+    std::int64_t totalBuilds() const;
+
+    /** Sum of staged bytes across functions. */
+    Bytes totalStagedBytes() const;
+
+    /** Sum of remote artifact fetches across functions. */
+    std::int64_t totalRemoteFetches() const;
+
+  private:
+    struct Entry
+    {
+        StagedArtifact art;
+        bool staging = false;
+        std::unique_ptr<sim::Gate> done;
+    };
+
+    sim::Simulation &sim;
+    net::ObjectStore &store;
+    const std::vector<std::unique_ptr<core::Worker>> &workers;
+    core::ColdStartMode mode;
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace vhive::cluster
+
+#endif // VHIVE_CLUSTER_SNAPSHOT_REGISTRY_HH

@@ -1,5 +1,7 @@
 #include "core/function_state.hh"
 
+#include <algorithm>
+
 namespace vhive::core {
 
 storage::FileId
@@ -9,6 +11,23 @@ FunctionState::ensureRootfs(storage::FileStore &fs)
         rootfs = fs.createFile(profile.name + "/rootfs",
                                profile.rootfsImage);
     return rootfs;
+}
+
+std::pair<Bytes, Bytes>
+FunctionState::ensureArtifactFiles(storage::FileStore &fs)
+{
+    Bytes ws_bytes = std::max<Bytes>(record.wsFileBytes(), kPageSize);
+    Bytes trace_bytes =
+        std::max<Bytes>(TraceFileCodec::encodedSize(record), 1);
+    if (wsFile == storage::kInvalidFile) {
+        wsFile = fs.createFile(profile.name + "/ws", ws_bytes);
+        traceFile =
+            fs.createFile(profile.name + "/trace", trace_bytes);
+    } else {
+        fs.truncate(wsFile, ws_bytes);
+        fs.truncate(traceFile, trace_bytes);
+    }
+    return {ws_bytes, trace_bytes};
 }
 
 void

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/monitor.hh"
@@ -44,7 +45,28 @@ struct Instance
     std::int64_t residualBaseline = 0;
     std::int64_t lastInput = -1;
     Time lastUsedAt = 0;
+
+    /**
+     * Orchestrator-unique id, never reused (unlike the instance's
+     * address). Anything that re-identifies an instance across a
+     * suspension point must match on this, not on the pointer.
+     */
+    std::uint64_t id = 0;
 };
+
+/**
+ * Size of the artifact bundle a remote cold start stages into and
+ * fetches from the object store: the serialized VMM/device state plus
+ * the compact WS file. The single definition shared by the
+ * RemoteReap/TieredReap staging path and the cluster's
+ * SnapshotRegistry, so build-once staging and lazy per-worker staging
+ * can never price the artifact differently.
+ */
+inline Bytes
+stagedArtifactBytes(Bytes vmm_state_size, const WorkingSetRecord &rec)
+{
+    return vmm_state_size + rec.wsFileBytes();
+}
 
 /** Everything the control plane tracks about one deployed function. */
 struct FunctionState
@@ -93,6 +115,15 @@ struct FunctionState
      * staging so the two invalidation paths cannot diverge.
      */
     void evictLocalArtifacts(storage::FileStore &fs);
+
+    /**
+     * Create (or resize) the ws/trace file entries to match `record`.
+     * The single sizing rule shared by the record phase and the
+     * registry's fan-out adoption, so artifact files can never be
+     * sized differently on recorded vs adopting workers.
+     * @return {ws file bytes, trace file bytes}.
+     */
+    std::pair<Bytes, Bytes> ensureArtifactFiles(storage::FileStore &fs);
 };
 
 } // namespace vhive::core

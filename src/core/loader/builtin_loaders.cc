@@ -106,19 +106,7 @@ RecordLoader::load(LoadContext ctx)
     st.remoteStaged = false; // new record invalidates staged objects
     ++st.stats.recordPhases;
 
-    Bytes ws_bytes = std::max<Bytes>(st.record.wsFileBytes(),
-                                     kPageSize);
-    Bytes trace_bytes =
-        std::max<Bytes>(TraceFileCodec::encodedSize(st.record), 1);
-    if (st.wsFile == storage::kInvalidFile) {
-        st.wsFile =
-            ctx.fs.createFile(st.profile.name + "/ws", ws_bytes);
-        st.traceFile = ctx.fs.createFile(st.profile.name + "/trace",
-                                         trace_bytes);
-    } else {
-        ctx.fs.truncate(st.wsFile, ws_bytes);
-        ctx.fs.truncate(st.traceFile, trace_bytes);
-    }
+    auto [ws_bytes, trace_bytes] = st.ensureArtifactFiles(ctx.fs);
     // The monitor already holds the page contents; write both files
     // (buffered, with asynchronous writeback).
     co_await ctx.fs.writeBuffered(st.wsFile, 0, ws_bytes);
@@ -306,8 +294,8 @@ RemoteReapLoader::ensureStaged(LoadContext ctx)
     // creation itself (Sec. 7.1).
     if (ctx.st.remoteStaged)
         co_return;
-    co_await ctx.objectStore.put(ctx.vmmParams.vmmStateSize +
-                                 ctx.st.record.wsFileBytes());
+    co_await ctx.objectStore.put(stagedArtifactBytes(
+        ctx.vmmParams.vmmStateSize, ctx.st.record));
     ctx.st.remoteStaged = true;
 }
 

@@ -1,5 +1,7 @@
 #include "core/orchestrator.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace vhive::core {
@@ -85,8 +87,36 @@ Orchestrator::prepareSnapshot(const std::string &name)
                                  st.profile.rootfsBootRead);
     co_await vm->createSnapshot(st.snapshot);
     st.hasSnapshot = true;
+    ++_snapshotBuilds;
     // The booted instance is discarded: snapshots make keeping it
     // memory-resident unnecessary.
+}
+
+void
+Orchestrator::adoptStagedArtifacts(const std::string &name,
+                                   const WorkingSetRecord &record)
+{
+    FunctionState &st = state(name);
+    if (st.recorded) {
+        // The building worker: artifacts already exist locally, the
+        // registry's put() just made them shared.
+        st.remoteStaged = true;
+        return;
+    }
+    if (!st.hasSnapshot) {
+        st.snapshot.vmmState = fs.createFile(name + "/vmm_state",
+                                             vmmParams.vmmStateSize);
+        st.snapshot.guestMemory =
+            fs.createFile(name + "/guest_mem", st.profile.vmMemory);
+        st.hasSnapshot = true;
+    }
+    st.record = record;
+    st.recorded = true;
+    st.ensureArtifactFiles(fs);
+    st.remoteStaged = true;
+    // The bytes live only in the shared store until a cold start pulls
+    // them through the remote tier and admission re-localizes them.
+    st.evictLocalArtifacts(fs);
 }
 
 std::int64_t
@@ -102,6 +132,7 @@ Orchestrator::createInstance(FunctionState &st)
 {
     st.instances.push_back(std::make_unique<Instance>());
     Instance &inst = *st.instances.back();
+    inst.id = ++_nextInstanceId;
     inst.vm = std::make_unique<vmm::MicroVm>(sim, fs, hostCpus,
                                              st.profile, vmmParams);
     return inst;
@@ -262,6 +293,40 @@ Orchestrator::stopAllInstances(const std::string &name)
         co_await stopInstance(st, st.instances.size() - 1);
 }
 
+sim::Task<std::int64_t>
+Orchestrator::stopIdleInstances(const std::string &name)
+{
+    FunctionState &st = state(name);
+    // Snapshot the instances idle right now, back to front (the order
+    // stopAllInstances retires). An instance that turns idle during a
+    // shutdown handshake below was busy when the scale-down decision
+    // was made — it was just in use and must survive this round.
+    std::vector<std::uint64_t> victims;
+    for (size_t i = st.instances.size(); i-- > 0;) {
+        if (!st.instances[i]->busy)
+            victims.push_back(st.instances[i]->id);
+    }
+    std::int64_t stopped = 0;
+    for (std::uint64_t victim : victims) {
+        // Re-locate per victim by its never-reused id: each
+        // stopInstance suspends and the vector may shift (or another
+        // path — capacity eviction, a warm dispatch — may have
+        // claimed or retired the instance) meanwhile.
+        size_t idx = st.instances.size();
+        for (size_t i = 0; i < st.instances.size(); ++i) {
+            if (st.instances[i]->id == victim) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == st.instances.size() || st.instances[idx]->busy)
+            continue;
+        co_await stopInstance(st, idx);
+        ++stopped;
+    }
+    co_return stopped;
+}
+
 std::int64_t
 Orchestrator::instanceCount(const std::string &name) const
 {
@@ -294,6 +359,12 @@ bool
 Orchestrator::hasRecord(const std::string &name) const
 {
     return state(name).recorded;
+}
+
+bool
+Orchestrator::artifactsLocal(const std::string &name) const
+{
+    return state(name).artifactsLocal;
 }
 
 const WorkingSetRecord &

@@ -77,6 +77,22 @@ class Orchestrator
      */
     sim::Task<void> prepareSnapshot(const std::string &name);
 
+    /** Snapshots actually built on this worker (prepareSnapshot). */
+    std::int64_t snapshotBuilds() const { return _snapshotBuilds; }
+
+    /**
+     * Adopt snapshot/WS artifacts another worker built and staged into
+     * the shared object store (cluster::SnapshotRegistry fan-out).
+     * Control-plane metadata only — no simulated time passes: the
+     * local file entries are created at the staged sizes, the record
+     * is shared, and `FunctionState::artifactsLocal` stays false so
+     * the first cold start pulls the bytes through the remote tier
+     * (TieredReap) or bulk GETs (RemoteReap). On the worker that built
+     * and recorded the artifacts this only marks them remote-staged.
+     */
+    void adoptStagedArtifacts(const std::string &name,
+                              const WorkingSetRecord &record);
+
     /**
      * Serve one invocation of @p name. Routes to an idle warm instance
      * when possible, otherwise dispatches the SnapshotLoader registered
@@ -91,6 +107,16 @@ class Orchestrator
     /** Gracefully stop and reclaim all instances of @p name. */
     sim::Task<void> stopAllInstances(const std::string &name);
 
+    /**
+     * Stop only the idle instances of @p name, leaving busy ones to
+     * finish their in-flight invocations. This is the autoscaler's
+     * scale-down primitive: the keep-alive janitor may fire while an
+     * invocation is mid-flight, and reclaiming the busy instance under
+     * it would be a use-after-free in a real control plane (and an
+     * assertion failure here). @return instances stopped.
+     */
+    sim::Task<std::int64_t> stopIdleInstances(const std::string &name);
+
     /** Number of live (warm) instances of @p name. */
     std::int64_t instanceCount(const std::string &name) const;
 
@@ -103,6 +129,9 @@ class Orchestrator
 
     /** Whether a working-set record exists for @p name. */
     bool hasRecord(const std::string &name) const;
+
+    /** Whether @p name's artifacts have a valid local-SSD copy. */
+    bool artifactsLocal(const std::string &name) const;
 
     /** Recorded working set (must exist). */
     const WorkingSetRecord &record(const std::string &name) const;
@@ -182,6 +211,8 @@ class Orchestrator
     std::map<std::string, FunctionState> functions;
     Bytes memoryCapacity = 0;
     std::int64_t _capacityEvictions = 0;
+    std::int64_t _snapshotBuilds = 0;
+    std::uint64_t _nextInstanceId = 0;
 
     /** Control-plane CPU cost of handling one cold start. */
     static constexpr Duration kControlPlaneCost = msec(2);

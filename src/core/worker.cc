@@ -16,14 +16,16 @@ ioForDisk(const WorkerConfig &cfg)
 
 } // namespace
 
-Worker::Worker(sim::Simulation &sim, WorkerConfig config)
+Worker::Worker(sim::Simulation &sim, WorkerConfig config,
+               net::ObjectStore *shared_store)
     : sim(sim), cfg(config), _disk(sim, cfg.disk),
       fs(sim, _disk, ioForDisk(cfg)),
       _hostCpus(sim, cfg.hostCores),
       _orchCpus(sim, cfg.orchestratorThreads), s3(sim, cfg.objectStore),
+      store(shared_store != nullptr ? shared_store : &s3),
       gen(cfg.seed),
-      orch(sim, fs, _hostCpus, _orchCpus, s3, gen, cfg.vmm, cfg.reap,
-           cfg.uffd)
+      orch(sim, fs, _hostCpus, _orchCpus, *store, gen, cfg.vmm,
+           cfg.reap, cfg.uffd)
 {
     if (cfg.instanceMemoryCapacity > 0)
         orch.setMemoryCapacity(cfg.instanceMemoryCapacity);

@@ -70,8 +70,16 @@ struct WorkerConfig
 class Worker
 {
   public:
+    /**
+     * @param shared_store When non-null, the worker's orchestrator and
+     * loaders fetch/stage objects through this fleet-shared store (one
+     * disaggregated service serving every worker, Sec. 7.1) instead of
+     * the worker-private instance. The cluster layer passes its shared
+     * store here when cross-worker snapshot sharing is enabled.
+     */
     explicit Worker(sim::Simulation &sim,
-                    WorkerConfig config = WorkerConfig{});
+                    WorkerConfig config = WorkerConfig{},
+                    net::ObjectStore *shared_store = nullptr);
 
     Worker(const Worker &) = delete;
     Worker &operator=(const Worker &) = delete;
@@ -81,7 +89,7 @@ class Worker
     storage::FileStore &fileStore() { return fs; }
     host::CpuPool &hostCpus() { return _hostCpus; }
     host::CpuPool &orchestratorCpus() { return _orchCpus; }
-    net::ObjectStore &objectStore() { return s3; }
+    net::ObjectStore &objectStore() { return *store; }
     const func::TraceGenerator &traceGenerator() const { return gen; }
     const WorkerConfig &config() const { return cfg; }
 
@@ -93,6 +101,8 @@ class Worker
     host::CpuPool _hostCpus;
     host::CpuPool _orchCpus;
     net::ObjectStore s3;
+    /** Points at s3, or at the fleet-shared store when one was given. */
+    net::ObjectStore *store;
     func::TraceGenerator gen;
     Orchestrator orch;
 };

@@ -1,5 +1,6 @@
 #include "net/object_store.hh"
 
+#include <algorithm>
 #include <optional>
 
 namespace vhive::net {
@@ -33,7 +34,17 @@ ObjectStore::transfer(Bytes bytes)
 {
     std::optional<sim::SemaphoreGuard> guard;
     if (streams) {
+        if (streams->availablePermits() == 0) {
+            _stats.peakStreamQueue =
+                std::max(_stats.peakStreamQueue,
+                         streams->queueLength() + 1);
+        }
+        Time w0 = sim.now();
         co_await streams->acquire();
+        if (sim.now() > w0) {
+            ++_stats.streamWaits;
+            _stats.streamWaitTime += sim.now() - w0;
+        }
         guard.emplace(*streams);
     }
     Duration xfer = static_cast<Duration>(static_cast<double>(bytes) /

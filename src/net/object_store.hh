@@ -66,6 +66,17 @@ struct ObjectStoreStats
 
     Bytes bytesServed = 0;
     Bytes bytesStored = 0;
+
+    /**
+     * Stream contention (bounded links only): transfers that had to
+     * queue for a stream slot, the total simulated time they spent
+     * queued, and the deepest queue observed. At fleet scale these are
+     * the data-plane contention signal Sec. 7.1 hints at — many
+     * workers cold-starting through one disaggregated store.
+     */
+    std::int64_t streamWaits = 0;
+    Duration streamWaitTime = 0;
+    std::int64_t peakStreamQueue = 0;
 };
 
 /**

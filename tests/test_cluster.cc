@@ -145,6 +145,55 @@ TEST(Cluster, MultiWorkerRouting)
     EXPECT_EQ(cluster.stats("pyaes").warmHits, 4);
 }
 
+TEST(Cluster, RoundRobinRotationStartsAtWorkerZero)
+{
+    // Regression: the round-robin cursor used to pre-increment, so a
+    // fresh cluster's first cold start (no warm instance anywhere)
+    // always skipped worker 0.
+    Simulation sim;
+    Cluster cluster(sim, smallConfig(2));
+    cluster.deploy(func::profileByName("helloworld"));
+    runScenario(sim, [&]() -> Task<void> {
+        co_await cluster.prepareAllSnapshots();
+        (void)co_await cluster.invoke("helloworld");
+    });
+    EXPECT_EQ(
+        cluster.worker(0).orchestrator().instanceCount("helloworld"),
+        1);
+    EXPECT_EQ(
+        cluster.worker(1).orchestrator().instanceCount("helloworld"),
+        0);
+}
+
+TEST(Cluster, RoundRobinCyclesAllWorkersInOrder)
+{
+    Simulation sim;
+    Cluster cluster(sim, smallConfig(3));
+    cluster.deploy(func::profileByName("helloworld"));
+    runScenario(sim, [&]() -> Task<void> {
+        co_await cluster.prepareAllSnapshots();
+        struct Arrival {
+            static Task<void>
+            run(Cluster &c, sim::Latch *done)
+            {
+                (void)co_await c.invoke("helloworld");
+                done->arrive();
+            }
+        };
+        // Three simultaneous colds: the rotation must visit 0, 1, 2.
+        sim::Latch done(sim, 3);
+        for (int i = 0; i < 3; ++i)
+            sim.spawn(Arrival::run(cluster, &done));
+        co_await done.wait();
+        for (int w = 0; w < 3; ++w) {
+            EXPECT_EQ(cluster.worker(w).orchestrator().instanceCount(
+                          "helloworld"),
+                      1)
+                << "worker " << w;
+        }
+    });
+}
+
 TEST(Cluster, PoissonTrafficSparseArrivalsAreCold)
 {
     // Inter-arrival >> keep-alive: every invocation is a cold start.
