@@ -30,7 +30,7 @@ using namespace vhive;
 namespace {
 
 struct SweepPoint {
-    Bytes window;  // 0 = one bulk GET
+    Bytes window;  // <0 = one bulk GET, 0 = adaptive (AIMD)
     int inFlight;
 };
 
@@ -55,10 +55,11 @@ sweepStore(const char *label, net::ObjectStoreParams store_params,
     const auto &profile = func::profileByName(kFunction);
 
     const SweepPoint points[] = {
-        {0, 1},          // single bulk GET (the RemoteReap shape)
+        {-1, 1},         // single bulk GET (the RemoteReap shape)
         {256 * kKiB, 1}, {256 * kKiB, 4}, {256 * kKiB, 8},
         {kMiB, 1},       {kMiB, 4},       {kMiB, 8},
         {4 * kMiB, 2},   {4 * kMiB, 4},
+        {0, 4},          // adaptive: AIMD from observed rtt/bandwidth
     };
 
     std::printf("store: %s (rtt %.0f us, %.0f MB/s per stream, "
@@ -139,17 +140,19 @@ sweepStore(const char *label, net::ObjectStoreParams store_params,
                 ms.cache += toMs(c.fetchWs) / reps;
             }
 
-            if (pt.window == 0)
+            if (pt.window < 0)
                 bulk_remote_ms = ms.remote;
-            if (best_point == nullptr || ms.remote < best_remote_ms) {
+            if (pt.window > 0 &&
+                (best_point == nullptr || ms.remote < best_remote_ms)) {
                 best_remote_ms = ms.remote;
                 best_point = &pt;
             }
             t.row()
-                .cell(pt.window == 0 ? std::string("bulk")
-                                     : std::to_string(pt.window /
-                                                      kKiB) +
-                                           " KiB")
+                .cell(pt.window < 0    ? std::string("bulk")
+                      : pt.window == 0 ? std::string("adaptive")
+                                       : std::to_string(pt.window /
+                                                        kKiB) +
+                                             " KiB")
                 .cell(static_cast<std::int64_t>(pt.inFlight))
                 .cell(ms.remote, 2)
                 .cell(ms.ssd, 2)

@@ -44,9 +44,10 @@ Cluster::Cluster(sim::Simulation &sim, ClusterConfig config)
     VHIVE_ASSERT(cfg.workers >= 1);
     if (cfg.sharedSnapshots) {
         if (cfg.coldStartMode != core::ColdStartMode::TieredReap &&
-            cfg.coldStartMode != core::ColdStartMode::RemoteReap) {
+            cfg.coldStartMode != core::ColdStartMode::RemoteReap &&
+            cfg.coldStartMode != core::ColdStartMode::DedupReap) {
             fatal("sharedSnapshots needs a remote-capable cold-start "
-                  "mode (TieredReap or RemoteReap), got %s",
+                  "mode (TieredReap, RemoteReap or DedupReap), got %s",
                   core::coldStartModeName(cfg.coldStartMode));
         }
         _sharedStore =
@@ -134,6 +135,14 @@ Cluster::artifactsLocal(int worker, const std::string &name) const
 {
     const auto &orch = workers[static_cast<size_t>(worker)]->orchestrator();
     return orch.hasFunction(name) && orch.artifactsLocal(name);
+}
+
+double
+Cluster::chunkResidency(int worker, const std::string &name) const
+{
+    const auto &orch =
+        workers[static_cast<size_t>(worker)]->orchestrator();
+    return orch.hasFunction(name) ? orch.chunkResidency(name) : 0.0;
 }
 
 sim::Task<Duration>
@@ -279,6 +288,15 @@ Cluster::fleetStats() const
             if (_registry->isStaged(entry.first))
                 fs.fetchFanIn +=
                     _registry->artifact(entry.first).fetchFanIn();
+        }
+        if (_registry->chunked()) {
+            const storage::ChunkStore &idx = _registry->chunkIndex();
+            fs.chunkLogicalBytes = _registry->totalLogicalBytes();
+            fs.chunkStoredBytes = idx.storedBytes();
+            fs.chunkDedupSavedBytes =
+                _registry->totalDedupSavedBytes();
+            fs.chunksStored = idx.chunkCount();
+            fs.chunksDeduped = idx.stats().dedupHits;
         }
     } else {
         for (const auto &w : workers)

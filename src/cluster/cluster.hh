@@ -205,6 +205,8 @@ class Cluster : private FleetView
     Bytes residentBytes(int worker) const override;
     bool artifactsLocal(int worker,
                         const std::string &name) const override;
+    double chunkResidency(int worker,
+                          const std::string &name) const override;
     /// @}
 
     /** Keep-alive janitor loop. */

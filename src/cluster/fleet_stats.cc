@@ -33,6 +33,9 @@ mergeStoreStats(net::ObjectStoreStats &a, const net::ObjectStoreStats &b)
     a.streamWaitTime += b.streamWaitTime;
     a.peakStreamQueue =
         std::max(a.peakStreamQueue, b.peakStreamQueue);
+    a.chunkPuts += b.chunkPuts;
+    a.chunkBatches += b.chunkBatches;
+    a.chunksServed += b.chunksServed;
 }
 
 } // namespace vhive::cluster

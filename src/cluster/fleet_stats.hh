@@ -73,6 +73,38 @@ struct FleetStats
     std::int64_t fetchFanIn = 0;
     /// @}
 
+    /** @name Content-addressed staging (DedupReap + shared mode). */
+    /// @{
+
+    /** Raw artifact bytes described by all staged manifests. */
+    Bytes chunkLogicalBytes = 0;
+
+    /** Distinct compressed bytes resident in the staged index. */
+    Bytes chunkStoredBytes = 0;
+
+    /** Upload bytes avoided because the chunk was already staged. */
+    Bytes chunkDedupSavedBytes = 0;
+
+    /** Distinct chunks in the staged index. */
+    std::int64_t chunksStored = 0;
+
+    /** addRef()s deduplicated against an already-staged chunk. */
+    std::int64_t chunksDeduped = 0;
+    /// @}
+
+    /**
+     * Fraction of staged compressed bytes that never crossed the wire
+     * thanks to dedup (0 when staging is not chunked).
+     */
+    double
+    dedupRatio() const
+    {
+        Bytes total = chunkDedupSavedBytes + stagedBytes;
+        return total > 0 ? static_cast<double>(chunkDedupSavedBytes) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+
     double coldP50() const { return coldE2eMs.percentile(50); }
     double coldP99() const { return coldE2eMs.percentile(99); }
     double coldP999() const { return coldE2eMs.percentile(99.9); }

@@ -73,8 +73,32 @@ LocalityHashPolicy::route(const RouteContext &ctx)
         if (fleet.idleInstances(w, ctx.name) > 0)
             return w;
     }
-    // Cold start: stay home so the artifact tiers concentrate, spill
-    // along the ring only past saturated workers.
+    // Cold start. With chunk-aware scoring enabled, weigh each
+    // unsaturated candidate's resident-chunk overlap against its ring
+    // distance from home: a worker already holding most of the
+    // function's chunks (pulled by other functions) restores almost
+    // locally even though it is not the hash home.
+    if (overlapWeight > 0.0) {
+        int best = -1;
+        double best_score = 0.0;
+        for (int k = 0; k < n; ++k) {
+            int w = (home + k) % n;
+            if (fleet.inFlight(w) >= spillInFlight)
+                continue;
+            double score =
+                overlapWeight * fleet.chunkResidency(w, ctx.name) -
+                static_cast<double>(k) / static_cast<double>(n);
+            if (best < 0 || score > best_score) {
+                best = w;
+                best_score = score;
+            }
+        }
+        if (best >= 0)
+            return best;
+        return home;
+    }
+    // Historical behaviour: stay home so the artifact tiers
+    // concentrate, spill along the ring only past saturated workers.
     for (int k = 0; k < n; ++k) {
         int w = (home + k) % n;
         if (fleet.inFlight(w) < spillInFlight)

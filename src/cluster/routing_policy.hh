@@ -73,6 +73,20 @@ class FleetView
     /** Whether @p worker holds a local copy of @p name's artifacts. */
     virtual bool artifactsLocal(int worker,
                                 const std::string &name) const = 0;
+
+    /**
+     * Fraction of @p name's content-addressed chunks resident on
+     * @p worker (0..1). With chunked artifacts (DedupReap) a worker
+     * that never ran the function may still hold most of its chunks —
+     * pulled by other functions sharing runtime pages — making its
+     * cold start nearly local. Default: artifactsLocal as 0/1, so
+     * non-chunked fleets score exactly like before.
+     */
+    virtual double
+    chunkResidency(int worker, const std::string &name) const
+    {
+        return artifactsLocal(worker, name) ? 1.0 : 0.0;
+    }
 };
 
 /** Everything one routing decision sees. */
@@ -135,12 +149,24 @@ class LocalityHashPolicy final : public RoutingPolicy
     const char *name() const override { return "locality-hash"; }
     int route(const RouteContext &ctx) override;
 
+    /**
+     * Routing-score hook for chunk-aware placement: with @p weight
+     * > 0, a cold start picks the unsaturated ring candidate
+     * maximizing weight x resident-chunk overlap minus its ring
+     * distance (normalized), instead of blindly staying home. Weight
+     * 0 (default) keeps the historical home-then-spill behaviour
+     * bit-identical.
+     */
+    void setOverlapWeight(double weight) { overlapWeight = weight; }
+    double getOverlapWeight() const { return overlapWeight; }
+
     /** The function's home position on the worker ring (FNV-1a via
      * util's hashName, platform-independent). */
     static int homeWorker(const std::string &name, int workers);
 
   private:
     std::int64_t spillInFlight;
+    double overlapWeight = 0.0;
 };
 
 /**

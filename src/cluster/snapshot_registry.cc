@@ -57,18 +57,44 @@ SnapshotRegistry::ensureStaged(const std::string &name)
         (void)co_await orch.invoke(name, mode, opts);
     }
 
-    // Stage once: one put() of VMM state + WS file serves every
-    // worker (vs one staged copy per worker before).
-    Bytes bytes = core::stagedArtifactBytes(hw.config().vmm.vmmStateSize,
-                                            orch.record(name));
-    co_await store.put(bytes);
-    e.art.stagedBytes = bytes;
+    std::shared_ptr<const vmm::SnapshotManifests> manifests;
+    if (chunked()) {
+        // Chunked staging: upload only chunks no earlier function
+        // staged. Duplicate chunks — the shared runtime pages every
+        // function's snapshot carries — are referenced in the index
+        // and never cross the wire again, fleet-wide.
+        const vmm::SnapshotManifests &m = orch.buildManifests(name);
+        manifests = orch.manifests(name);
+        Bytes uploaded = 0;
+        for (const storage::ChunkManifest *man :
+             {&m.vmmState, &m.ws}) {
+            for (const storage::ChunkRef &c : man->chunks) {
+                ++e.art.chunksTotal;
+                if (sharedChunks.addRef(c)) {
+                    co_await store.putChunk(c.storedBytes);
+                    uploaded += c.storedBytes;
+                    ++e.art.chunksUploaded;
+                } else {
+                    e.art.dedupSavedBytes += c.storedBytes;
+                }
+            }
+        }
+        e.art.stagedBytes = uploaded;
+        e.art.logicalBytes = m.rawBytes();
+    } else {
+        // Stage once: one put() of VMM state + WS file serves every
+        // worker (vs one staged copy per worker before).
+        Bytes bytes = core::stagedArtifactBytes(
+            hw.config().vmm.vmmStateSize, orch.record(name));
+        co_await store.put(bytes);
+        e.art.stagedBytes = bytes;
+    }
 
     // Fan the metadata out; the artifact bytes move lazily, at each
     // worker's first cold start, through the remote tier.
     const core::WorkingSetRecord &rec = orch.record(name);
     for (auto &w : workers)
-        w->orchestrator().adoptStagedArtifacts(name, rec);
+        w->orchestrator().adoptStagedArtifacts(name, rec, manifests);
 
     e.art.staged = true;
     e.staging = false;
@@ -129,6 +155,30 @@ SnapshotRegistry::totalRemoteFetches() const
     for (const auto &entry : entries)
         n += entry.second.art.remoteFetches;
     return n;
+}
+
+Bytes
+SnapshotRegistry::totalLogicalBytes() const
+{
+    Bytes n = 0;
+    for (const auto &entry : entries)
+        n += entry.second.art.logicalBytes;
+    return n;
+}
+
+Bytes
+SnapshotRegistry::totalDedupSavedBytes() const
+{
+    Bytes n = 0;
+    for (const auto &entry : entries)
+        n += entry.second.art.dedupSavedBytes;
+    return n;
+}
+
+bool
+SnapshotRegistry::chunked() const
+{
+    return mode == core::ColdStartMode::DedupReap;
 }
 
 } // namespace vhive::cluster

@@ -28,6 +28,7 @@
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
+#include "storage/chunk_store.hh"
 #include "util/units.hh"
 
 namespace vhive::cluster {
@@ -41,8 +42,27 @@ struct StagedArtifact
     /** Snapshot builds performed for this function (must stay 1). */
     std::int64_t builds = 0;
 
-    /** Bytes put() into the shared store (VMM state + WS file). */
+    /** Bytes put() into the shared store (VMM state + WS file). Under
+     * chunked staging (DedupReap) only *newly stored* compressed chunk
+     * bytes count — what actually crossed the wire. */
     Bytes stagedBytes = 0;
+
+    /** @name Chunked staging only (zero for blob staging). */
+    /// @{
+
+    /** Raw artifact bytes the manifests describe. */
+    Bytes logicalBytes = 0;
+
+    /** Compressed bytes NOT uploaded because the chunk was already
+     * staged (by this or any other function). */
+    Bytes dedupSavedBytes = 0;
+
+    /** Manifest chunks across both artifacts. */
+    std::int64_t chunksTotal = 0;
+
+    /** Chunks this staging actually uploaded. */
+    std::int64_t chunksUploaded = 0;
+    /// @}
 
     /** Cold starts that pulled the artifact through the remote tier. */
     std::int64_t remoteFetches = 0;
@@ -118,6 +138,24 @@ class SnapshotRegistry
     /** Sum of remote artifact fetches across functions. */
     std::int64_t totalRemoteFetches() const;
 
+    /** Sum of raw artifact bytes staged (chunked staging only). */
+    Bytes totalLogicalBytes() const;
+
+    /** Sum of upload bytes saved by chunk dedup across functions. */
+    Bytes totalDedupSavedBytes() const;
+
+    /**
+     * The fleet staged-chunk index (chunked staging): every distinct
+     * chunk in the shared store, refcounted by referencing manifests.
+     */
+    const storage::ChunkStore &chunkIndex() const
+    {
+        return sharedChunks;
+    }
+
+    /** Whether this registry stages chunk manifests (DedupReap). */
+    bool chunked() const;
+
   private:
     struct Entry
     {
@@ -131,6 +169,7 @@ class SnapshotRegistry
     const std::vector<std::unique_ptr<core::Worker>> &workers;
     core::ColdStartMode mode;
     std::map<std::string, Entry> entries;
+    storage::ChunkStore sharedChunks;
 };
 
 } // namespace vhive::cluster

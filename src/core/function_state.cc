@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.hh"
+
 namespace vhive::core {
 
 storage::FileId
@@ -28,6 +30,30 @@ FunctionState::ensureArtifactFiles(storage::FileStore &fs)
         fs.truncate(traceFile, trace_bytes);
     }
     return {ws_bytes, trace_bytes};
+}
+
+const vmm::SnapshotManifests &
+ensureManifests(FunctionState &st, const ReapOptions &reap,
+                const vmm::VmmParams &vmm)
+{
+    VHIVE_ASSERT(st.recorded);
+    if (!st.manifests) {
+        vmm::ChunkingModel model;
+        model.chunkBytes = reap.chunkBytes;
+        model.compression = reap.chunkCompression;
+        model.compressRatio = reap.chunkCompressRatio;
+        model.crossFunctionDupRatio = reap.chunkDupRatio;
+        model.sharedPoolBytes = reap.chunkSharedPoolBytes;
+        // Same minimum sizing as ensureArtifactFiles so the chunked
+        // and blob transfer paths describe identical artifact bytes.
+        Bytes ws_bytes =
+            std::max<Bytes>(st.record.wsFileBytes(), kPageSize);
+        st.manifests = std::make_shared<const vmm::SnapshotManifests>(
+            vmm::buildSnapshotManifests(st.profile.name,
+                                        vmm.vmmStateSize, ws_bytes,
+                                        model));
+    }
+    return *st.manifests;
 }
 
 void

@@ -9,11 +9,13 @@
 #define VHIVE_CORE_FUNCTION_STATE_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/monitor.hh"
+#include "core/options.hh"
 #include "core/ws_file.hh"
 #include "func/profile.hh"
 #include "mem/uffd.hh"
@@ -97,6 +99,25 @@ struct FunctionState
      */
     bool remoteStaged = false;
 
+    /**
+     * Content-addressed chunk recipes for the current record's
+     * artifacts (DedupReap). Built lazily by ensureManifests() once a
+     * record exists; shared with adopting workers under fleet staging;
+     * reset whenever the record is invalidated or re-recorded (new
+     * content means new chunk identities).
+     */
+    std::shared_ptr<const vmm::SnapshotManifests> manifests;
+
+    /**
+     * Per-page remote-serve counters backing tiered admit-on-N-hits
+     * (ReapOptions::admitAfterHits > 1): how many times each WS page
+     * was served from below the warm tiers. Lives here because the
+     * tiered chain is rebuilt per cold start while the threshold must
+     * span cold starts; cleared whenever the record changes (the
+     * counters describe the old content).
+     */
+    std::map<Bytes, int> tierAdmitCounts;
+
     std::int64_t nextInput = 0;
     std::vector<std::unique_ptr<Instance>> instances;
     FunctionStats stats;
@@ -125,6 +146,17 @@ struct FunctionState
      */
     std::pair<Bytes, Bytes> ensureArtifactFiles(storage::FileStore &fs);
 };
+
+/**
+ * Build (once) the chunk manifests describing @p st's current record
+ * under the ReapOptions chunking knobs. The single manifest-sizing
+ * rule shared by the DedupReap loader's lazy staging and the cluster
+ * registry's build-once staging, so the two paths can never chunk the
+ * same artifact differently. Requires a recorded working set.
+ */
+const vmm::SnapshotManifests &
+ensureManifests(FunctionState &st, const ReapOptions &reap,
+                const vmm::VmmParams &vmm);
 
 } // namespace vhive::core
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/chunk_source.hh"
 #include "mem/page_fetch.hh"
 #include "mem/tiered_source.hh"
 #include "util/logging.hh"
@@ -17,6 +18,17 @@ noteServe(LatencyBreakdown &bd, const vmm::InvocationBreakdown &res)
     bd.connRestore = res.connRestore;
     bd.processing = res.processing;
     bd.majorFaults = res.majorFaults;
+}
+
+/** Client-side chunk costs from the ReapOptions knobs. */
+mem::ChunkSourceParams
+chunkParams(const ReapOptions &reap)
+{
+    mem::ChunkSourceParams p;
+    p.decompressBandwidth = reap.chunkDecompressBandwidth;
+    p.perChunkDecompress = reap.chunkDecompressOverhead;
+    p.batchChunks = reap.chunkBatch;
+    return p;
 }
 
 } // namespace
@@ -104,6 +116,15 @@ RecordLoader::load(LoadContext ctx)
     st.record = inst.monitor->recorded();
     st.recorded = true;
     st.remoteStaged = false; // new record invalidates staged objects
+    st.tierAdmitCounts.clear(); // old content's admission history
+    if (st.manifests) {
+        // Re-record: the old chunk identities are dead. Drop this
+        // function's references from the staged index (chunks shared
+        // with other functions survive; the last reference evicts).
+        ctx.stagedChunks.releaseManifest(st.manifests->vmmState);
+        ctx.stagedChunks.releaseManifest(st.manifests->ws);
+        st.manifests.reset();
+    }
     ++st.stats.recordPhases;
 
     auto [ws_bytes, trace_bytes] = st.ensureArtifactFiles(ctx.fs);
@@ -283,7 +304,7 @@ ReapLoader::makeSource(LoadContext &ctx) const
 std::unique_ptr<mem::PageSource>
 RemoteReapLoader::makeSource(LoadContext &ctx) const
 {
-    return std::make_unique<mem::RemoteObjectSource>(ctx.objectStore);
+    return std::make_unique<mem::RemoteObjectSource>(ctx.artifactStore);
 }
 
 sim::Task<void>
@@ -294,7 +315,7 @@ RemoteReapLoader::ensureStaged(LoadContext ctx)
     // creation itself (Sec. 7.1).
     if (ctx.st.remoteStaged)
         co_return;
-    co_await ctx.objectStore.put(stagedArtifactBytes(
+    co_await ctx.artifactStore.put(stagedArtifactBytes(
         ctx.vmmParams.vmmStateSize, ctx.st.record));
     ctx.st.remoteStaged = true;
 }
@@ -305,7 +326,7 @@ RemoteReapLoader::preRestore(LoadContext ctx)
     // The serialized VMM/device state arrives as one bulk GET, then
     // lands in the local state file's cache pages so the restore
     // deserializes from memory rather than re-reading the disk.
-    co_await ctx.objectStore.get(ctx.vmmParams.vmmStateSize);
+    co_await ctx.artifactStore.get(ctx.vmmParams.vmmStateSize);
     co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
                                   ctx.vmmParams.vmmStateSize);
 }
@@ -354,10 +375,18 @@ TieredReapLoader::makeSource(LoadContext &ctx) const
             std::move(ssdAdmit)});
     }
     tiered->addTier(mem::TieredPageSource::Tier{
-        "remote",
-        std::make_unique<mem::RemoteObjectSource>(ctx.objectStore),
-        nullptr, nullptr});
+        "remote", makeBackstop(ctx), nullptr, nullptr});
+    // Persist the serve counters on the function so admit-on-N-hits
+    // spans cold starts (the chain itself is rebuilt per start).
+    tiered->setAdmitAfterHits(ctx.reap.admitAfterHits,
+                              &st->tierAdmitCounts);
     return tiered;
+}
+
+std::unique_ptr<mem::PageSource>
+TieredReapLoader::makeBackstop(LoadContext &ctx) const
+{
+    return std::make_unique<mem::RemoteObjectSource>(ctx.artifactStore);
 }
 
 sim::Task<void>
@@ -394,16 +423,81 @@ TieredReapLoader::fetchWs(LoadContext &ctx,
                                          ctx.reap.tieredInFlight, out);
     // The worker holds a complete local copy only when admission put
     // one there: every byte of this fetch must have come from the
-    // remote tier (and been admitted on the way through). A fetch
+    // remote tier AND been admitted on the way through. A fetch
     // served (even partly) by the page cache proves nothing about the
-    // SSD copy an earlier eviction may have dropped.
+    // SSD copy an earlier eviction may have dropped, and under
+    // admit-on-N-hits a remote serve below the threshold admits
+    // nothing at all.
     if (ctx.st.artifactsLocal || !ctx.reap.tieredAdmitOnMiss ||
         !ctx.reap.tieredLocalTier)
         co_return;
+    bool remote_all = false;
+    Bytes admitted = 0;
     for (const auto &t : pipeline.stats().tiers) {
         if (t.label == "remote" && t.bytes >= len)
-            ctx.st.artifactsLocal = true;
+            remote_all = true;
+        // Only the chain's own local tiers prove a local file copy
+        // (a chunked backstop's internal cache admissions do not).
+        if (t.label == "local-ssd" || t.label == "page-cache")
+            admitted += t.bytesAdmitted;
     }
+    if (remote_all && admitted >= len)
+        ctx.st.artifactsLocal = true;
+}
+
+// ---------------------------------------------------------- DedupReap
+
+std::unique_ptr<mem::PageSource>
+DedupReapLoader::makeBackstop(LoadContext &ctx) const
+{
+    VHIVE_ASSERT(ctx.st.manifests != nullptr);
+    return std::make_unique<mem::ChunkPageSource>(
+        ctx.sim, ctx.artifactStore, ctx.st.manifests->ws,
+        &ctx.localChunks, chunkParams(ctx.reap), &ctx.chunkFlights);
+}
+
+sim::Task<void>
+DedupReapLoader::ensureStaged(LoadContext ctx)
+{
+    const vmm::SnapshotManifests &m =
+        ensureManifests(ctx.st, ctx.reap, ctx.vmmParams);
+    if (ctx.st.remoteStaged)
+        co_return;
+    // Chunk-level staging: upload only chunks the staged index has
+    // not seen — cross-function duplicates (and in-artifact repeats)
+    // are referenced, not re-uploaded, and travel compressed.
+    for (const storage::ChunkManifest *man : {&m.vmmState, &m.ws}) {
+        for (const storage::ChunkRef &c : man->chunks) {
+            if (ctx.stagedChunks.addRef(c))
+                co_await ctx.artifactStore.putChunk(c.storedBytes);
+        }
+    }
+    ctx.st.remoteStaged = true;
+    if (ctx.reap.tieredFreshWorker) {
+        // Same fresh-worker model as TieredReap: the first cold start
+        // after staging pays the (chunked) remote path.
+        ctx.st.evictLocalArtifacts(ctx.fs);
+    }
+}
+
+sim::Task<void>
+DedupReapLoader::preRestore(LoadContext ctx)
+{
+    // The serialized VMM/device state follows the chunked path too:
+    // local copies deserialize in place; otherwise its manifest chunks
+    // arrive as batched compressed GETs (minus what the worker's chunk
+    // cache already holds) and land in the local state file.
+    if (ctx.st.artifactsLocal)
+        co_return;
+    VHIVE_ASSERT(ctx.st.manifests != nullptr);
+    mem::ChunkPageSource state_src(ctx.sim, ctx.artifactStore,
+                                   ctx.st.manifests->vmmState,
+                                   &ctx.localChunks,
+                                   chunkParams(ctx.reap),
+                                   &ctx.chunkFlights);
+    co_await state_src.readAll();
+    co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
+                                  ctx.vmmParams.vmmStateSize);
 }
 
 } // namespace vhive::core::loader

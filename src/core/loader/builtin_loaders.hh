@@ -176,7 +176,7 @@ class RemoteReapLoader : public PrefetchLoader
  * VMM-state transfer; the local tiers short-circuit both when a valid
  * local copy exists.
  */
-class TieredReapLoader final : public RemoteReapLoader
+class TieredReapLoader : public RemoteReapLoader
 {
   public:
     const char *name() const override { return "reap-tiered"; }
@@ -189,6 +189,36 @@ class TieredReapLoader final : public RemoteReapLoader
     sim::Task<void> fetchWs(LoadContext &ctx,
                             mem::PageFetchPipeline &pipeline, Bytes len,
                             Duration *out) override;
+
+    /**
+     * The chain's always-holds backstop (lowest tier). Default: bulk
+     * object GETs (RemoteObjectSource); DedupReap swaps in the
+     * chunked source.
+     */
+    virtual std::unique_ptr<mem::PageSource>
+    makeBackstop(LoadContext &ctx) const;
+};
+
+/**
+ * TieredReap over the content-addressed artifact layer: the remote
+ * backstop is a mem::ChunkPageSource mapping WS byte ranges onto the
+ * function's chunk manifest. Staging uploads each *distinct* chunk
+ * once (cross-function dedup against the staged-chunk index), cold
+ * starts transfer compressed chunk bytes as batched ranged GETs, and
+ * chunks resident in the worker's cache — pulled by any function —
+ * cost only a local copy. The VMM-state artifact follows the same
+ * chunked path.
+ */
+class DedupReapLoader final : public TieredReapLoader
+{
+  public:
+    const char *name() const override { return "reap-dedup"; }
+
+  protected:
+    sim::Task<void> ensureStaged(LoadContext ctx) override;
+    sim::Task<void> preRestore(LoadContext ctx) override;
+    std::unique_ptr<mem::PageSource>
+    makeBackstop(LoadContext &ctx) const override;
 };
 
 } // namespace vhive::core::loader

@@ -20,6 +20,8 @@ LoaderRegistry::LoaderRegistry()
                    std::make_unique<RemoteReapLoader>());
     registerLoader(ColdStartMode::TieredReap,
                    std::make_unique<TieredReapLoader>());
+    registerLoader(ColdStartMode::DedupReap,
+                   std::make_unique<DedupReapLoader>());
     _recordLoader = std::make_unique<RecordLoader>();
 }
 

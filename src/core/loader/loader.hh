@@ -21,10 +21,12 @@
 #include "core/options.hh"
 #include "func/trace_gen.hh"
 #include "host/cpu_pool.hh"
+#include "mem/chunk_source.hh"
 #include "mem/uffd.hh"
 #include "net/object_store.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
+#include "storage/chunk_store.hh"
 #include "storage/file_store.hh"
 #include "vmm/snapshot.hh"
 
@@ -50,6 +52,35 @@ struct LoadContext
     Instance &inst;
     const func::InvocationTrace &trace;
     const InvokeOptions &opts;
+
+    /**
+     * Worker-resident chunk cache, shared across functions: chunks any
+     * cold start pulled remotely are served locally afterwards — also
+     * for *other* functions whose manifests share them (DedupReap).
+     */
+    storage::ChunkStore &localChunks;
+
+    /**
+     * Store-side staged-chunk index of the object store this worker
+     * stages into: records which content hashes were already uploaded
+     * so duplicate chunks are put() exactly once.
+     */
+    storage::ChunkStore &stagedChunks;
+
+    /**
+     * The store snapshot/WS artifacts stage into and cold starts
+     * fetch from (fleet-shared under cross-worker sharing). Input
+     * payloads keep flowing through objectStore — the two roles are
+     * distinct services in a real deployment.
+     */
+    net::ObjectStore &artifactStore;
+
+    /**
+     * Worker-wide chunk single-flight table: concurrent cold starts
+     * needing the same in-flight chunk wait for the one transfer
+     * instead of duplicating it or seeing it as already resident.
+     */
+    mem::ChunkFlights &chunkFlights;
 };
 
 /**

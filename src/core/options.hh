@@ -61,6 +61,17 @@ enum class ColdStartMode
      * from the tiers the fetch populated.
      */
     TieredReap,
+
+    /**
+     * TieredReap with the remote tier replaced by a content-addressed
+     * chunk transfer: artifacts are split into fixed-size chunks keyed
+     * by content hash ("How Low Can You Go?", arXiv:2109.13319),
+     * staged into the store once per *distinct chunk* rather than once
+     * per function, fetched as batched ranged GETs of their compressed
+     * sizes, and served locally when any earlier cold start — of any
+     * function — already pulled them into the worker's chunk cache.
+     */
+    DedupReap,
 };
 
 /** Human-readable mode name. */
@@ -145,13 +156,59 @@ struct ReapOptions
     bool tieredAdmitOnMiss = true;
 
     /**
-     * Window size for the tiered WS fetch; 0 = one bulk read (the
-     * single-GET shape RemoteReap uses).
+     * Window size for the tiered WS fetch. 0 = adaptive: the pipeline
+     * AIMD-sizes windows from observed per-GET rtt/bandwidth
+     * (PageFetchPipeline's adaptive mode). For one bulk read, use a
+     * window >= the working-set size (the single-GET RemoteReap
+     * shape).
      */
     Bytes tieredWindowBytes = 1 * kMiB;
 
     /** Concurrent windows in flight during the tiered WS fetch. */
     int tieredInFlight = 4;
+
+    /**
+     * Warm-tier admission threshold: a remotely served range is
+     * admitted into the local tiers only on its Nth remote serve.
+     * 1 (default) admits on first touch — the historical behaviour;
+     * higher values keep one-shot ranges from polluting local tiers.
+     */
+    int admitAfterHits = 1;
+
+    // ------------------------------------------------- DedupReap knobs
+
+    /** Chunk size of the content-addressed artifact layer. */
+    Bytes chunkBytes = 64 * kKiB;
+
+    /** Transfer chunks compressed (decompression charged on arrival). */
+    bool chunkCompression = true;
+
+    /** Mean compressed/raw ratio of chunk contents. */
+    double chunkCompressRatio = 0.55;
+
+    /**
+     * Fraction of full chunks shared with the fleet-wide runtime-page
+     * pool (identical bytes across functions). ~30-50% matches the
+     * cross-function redundancy reported for language runtimes.
+     */
+    double chunkDupRatio = 0.35;
+
+    /**
+     * Size of the fleet-wide shared runtime-page pool the duplicate
+     * chunks draw from (the guest kernel + agents + language-runtime
+     * image every function's snapshot carries). Expressed in bytes so
+     * the dedup opportunity is chunk-size-invariant.
+     */
+    Bytes chunkSharedPoolBytes = 24 * kMiB;
+
+    /** Client-side chunk decompression rate (raw bytes/sec). */
+    double chunkDecompressBandwidth = 3e9;
+
+    /** Fixed per-chunk decompression dispatch cost. */
+    Duration chunkDecompressOverhead = usec(4);
+
+    /** Max chunks coalesced into one batched ranged GET. */
+    int chunkBatch = 16;
 };
 
 /**

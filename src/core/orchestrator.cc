@@ -17,6 +17,7 @@ coldStartModeName(ColdStartMode mode)
       case ColdStartMode::Reap: return "reap";
       case ColdStartMode::RemoteReap: return "reap-remote";
       case ColdStartMode::TieredReap: return "reap-tiered";
+      case ColdStartMode::DedupReap: return "reap-dedup";
     }
     return "?";
 }
@@ -27,10 +28,14 @@ Orchestrator::Orchestrator(sim::Simulation &sim, storage::FileStore &fs,
                            net::ObjectStore &object_store,
                            const func::TraceGenerator &gen,
                            vmm::VmmParams vmm_params, ReapOptions reap,
-                           mem::UffdParams uffd_params)
+                           mem::UffdParams uffd_params,
+                           net::ObjectStore *artifact_store)
     : sim(sim), fs(fs), hostCpus(host_cpus), orchCpus(orch_cpus),
-      objectStore(object_store), gen(gen), vmmParams(vmm_params),
-      reap(reap), uffdParams(uffd_params)
+      objectStore(object_store),
+      artifactStore(artifact_store != nullptr ? *artifact_store
+                                              : object_store),
+      gen(gen), vmmParams(vmm_params), reap(reap),
+      uffdParams(uffd_params)
 {
 }
 
@@ -93,8 +98,9 @@ Orchestrator::prepareSnapshot(const std::string &name)
 }
 
 void
-Orchestrator::adoptStagedArtifacts(const std::string &name,
-                                   const WorkingSetRecord &record)
+Orchestrator::adoptStagedArtifacts(
+    const std::string &name, const WorkingSetRecord &record,
+    std::shared_ptr<const vmm::SnapshotManifests> manifests)
 {
     FunctionState &st = state(name);
     if (st.recorded) {
@@ -103,6 +109,7 @@ Orchestrator::adoptStagedArtifacts(const std::string &name,
         st.remoteStaged = true;
         return;
     }
+    st.manifests = std::move(manifests);
     if (!st.hasSnapshot) {
         st.snapshot.vmmState = fs.createFile(name + "/vmm_state",
                                              vmmParams.vmmStateSize);
@@ -188,7 +195,9 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
     inst.lastInput = input;
     loader::LoadContext ctx{sim,        fs,    hostCpus, objectStore,
                             gen,        vmmParams, reap, uffdParams,
-                            st,         inst,  trace,    opts};
+                            st,         inst,  trace,    opts,
+                            _localChunks,      _stagedChunks,
+                            artifactStore,     _chunkFlights};
 
     LatencyBreakdown bd;
     if (ld.needsRecord() && !st.recorded)
@@ -375,6 +384,27 @@ Orchestrator::record(const std::string &name) const
     return st.record;
 }
 
+const vmm::SnapshotManifests &
+Orchestrator::buildManifests(const std::string &name)
+{
+    return ensureManifests(state(name), reap, vmmParams);
+}
+
+std::shared_ptr<const vmm::SnapshotManifests>
+Orchestrator::manifests(const std::string &name) const
+{
+    return state(name).manifests;
+}
+
+double
+Orchestrator::chunkResidency(const std::string &name) const
+{
+    const FunctionState &st = state(name);
+    if (st.manifests)
+        return _localChunks.residentFraction(st.manifests->ws);
+    return st.artifactsLocal ? 1.0 : 0.0;
+}
+
 void
 Orchestrator::invalidateRecord(const std::string &name)
 {
@@ -382,6 +412,17 @@ Orchestrator::invalidateRecord(const std::string &name)
     st.recorded = false;
     st.remoteStaged = false;
     st.artifactsLocal = false;
+    // Admission counters describe the old record's content.
+    st.tierAdmitCounts.clear();
+    if (st.manifests) {
+        // The staged chunks this record referenced are dead to this
+        // function; the index drops the last-referenced ones. The
+        // worker chunk cache is content-addressed and never stale, so
+        // its entries stay.
+        _stagedChunks.releaseManifest(st.manifests->vmmState);
+        _stagedChunks.releaseManifest(st.manifests->ws);
+        st.manifests.reset();
+    }
 }
 
 void

@@ -26,10 +26,12 @@
 #include "func/profile.hh"
 #include "func/trace_gen.hh"
 #include "host/cpu_pool.hh"
+#include "mem/chunk_source.hh"
 #include "mem/uffd.hh"
 #include "net/object_store.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
+#include "storage/chunk_store.hh"
 #include "storage/file_store.hh"
 #include "vmm/microvm.hh"
 #include "vmm/snapshot.hh"
@@ -42,13 +44,23 @@ namespace vhive::core {
 class Orchestrator
 {
   public:
+    /**
+     * @param object_store Serves function *input* payloads (the
+     * MinIO-on-the-same-host role, Sec. 6.1).
+     * @param artifact_store Serves snapshot/WS artifact staging and
+     * remote cold-start fetches; null = use @p object_store for both
+     * (the single-store historical wiring). The cluster layer passes
+     * the fleet-shared store here so artifact traffic and input
+     * traffic stop sharing one service.
+     */
     Orchestrator(sim::Simulation &sim, storage::FileStore &fs,
                  host::CpuPool &host_cpus, host::CpuPool &orch_cpus,
                  net::ObjectStore &object_store,
                  const func::TraceGenerator &gen,
                  vmm::VmmParams vmm_params = vmm::VmmParams{},
                  ReapOptions reap = ReapOptions{},
-                 mem::UffdParams uffd_params = mem::UffdParams{});
+                 mem::UffdParams uffd_params = mem::UffdParams{},
+                 net::ObjectStore *artifact_store = nullptr);
 
     /**
      * Bound the worker's instance memory (Sec. 4.3: colocation makes
@@ -90,8 +102,10 @@ class Orchestrator
      * (TieredReap) or bulk GETs (RemoteReap). On the worker that built
      * and recorded the artifacts this only marks them remote-staged.
      */
-    void adoptStagedArtifacts(const std::string &name,
-                              const WorkingSetRecord &record);
+    void adoptStagedArtifacts(
+        const std::string &name, const WorkingSetRecord &record,
+        std::shared_ptr<const vmm::SnapshotManifests> manifests =
+            nullptr);
 
     /**
      * Serve one invocation of @p name. Routes to an idle warm instance
@@ -135,6 +149,42 @@ class Orchestrator
 
     /** Recorded working set (must exist). */
     const WorkingSetRecord &record(const std::string &name) const;
+
+    /**
+     * Build (once) and return @p name's chunk manifests under this
+     * worker's chunking knobs. Requires a recorded working set.
+     */
+    const vmm::SnapshotManifests &
+    buildManifests(const std::string &name);
+
+    /** @p name's chunk manifests; null until built. */
+    std::shared_ptr<const vmm::SnapshotManifests>
+    manifests(const std::string &name) const;
+
+    /**
+     * Fraction of @p name's WS-manifest chunks resident in this
+     * worker's chunk cache — the locality signal chunk-aware routing
+     * weighs. Falls back to artifactsLocal (0 or 1) for functions
+     * without manifests (non-chunked modes).
+     */
+    double chunkResidency(const std::string &name) const;
+
+    /**
+     * Worker-resident chunk cache, shared across functions (chunks
+     * pulled remotely by any cold start are served locally after).
+     */
+    storage::ChunkStore &localChunkCache() { return _localChunks; }
+    const storage::ChunkStore &localChunkCache() const
+    {
+        return _localChunks;
+    }
+
+    /** Staged-chunk index of this worker's own object store. */
+    storage::ChunkStore &stagedChunkIndex() { return _stagedChunks; }
+    const storage::ChunkStore &stagedChunkIndex() const
+    {
+        return _stagedChunks;
+    }
 
     /** Invalidate the record so the next cold start re-records. */
     void invalidateRecord(const std::string &name);
@@ -203,12 +253,16 @@ class Orchestrator
     host::CpuPool &hostCpus;
     host::CpuPool &orchCpus;
     net::ObjectStore &objectStore;
+    net::ObjectStore &artifactStore;
     const func::TraceGenerator &gen;
     vmm::VmmParams vmmParams;
     ReapOptions reap;
     mem::UffdParams uffdParams;
     loader::LoaderRegistry _loaders;
     std::map<std::string, FunctionState> functions;
+    storage::ChunkStore _localChunks;
+    storage::ChunkStore _stagedChunks;
+    mem::ChunkFlights _chunkFlights;
     Bytes memoryCapacity = 0;
     std::int64_t _capacityEvictions = 0;
     std::int64_t _snapshotBuilds = 0;

@@ -22,10 +22,10 @@ Worker::Worker(sim::Simulation &sim, WorkerConfig config,
       fs(sim, _disk, ioForDisk(cfg)),
       _hostCpus(sim, cfg.hostCores),
       _orchCpus(sim, cfg.orchestratorThreads), s3(sim, cfg.objectStore),
-      store(shared_store != nullptr ? shared_store : &s3),
+      artifacts(shared_store != nullptr ? shared_store : &s3),
       gen(cfg.seed),
-      orch(sim, fs, _hostCpus, _orchCpus, *store, gen, cfg.vmm,
-           cfg.reap, cfg.uffd)
+      orch(sim, fs, _hostCpus, _orchCpus, s3, gen, cfg.vmm,
+           cfg.reap, cfg.uffd, artifacts)
 {
     if (cfg.instanceMemoryCapacity > 0)
         orch.setMemoryCapacity(cfg.instanceMemoryCapacity);

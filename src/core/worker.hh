@@ -71,11 +71,15 @@ class Worker
 {
   public:
     /**
-     * @param shared_store When non-null, the worker's orchestrator and
-     * loaders fetch/stage objects through this fleet-shared store (one
-     * disaggregated service serving every worker, Sec. 7.1) instead of
-     * the worker-private instance. The cluster layer passes its shared
-     * store here when cross-worker snapshot sharing is enabled.
+     * @param shared_store When non-null, the worker's loaders stage
+     * and fetch snapshot/WS *artifacts* through this fleet-shared
+     * store (one disaggregated service serving every worker,
+     * Sec. 7.1). Function *input* payloads always flow through the
+     * worker-private store — the two roles are distinct services in a
+     * real deployment, and conflating them would let input traffic
+     * masquerade as artifact bytes moved. The cluster layer passes
+     * its shared store here when cross-worker snapshot sharing is
+     * enabled.
      */
     explicit Worker(sim::Simulation &sim,
                     WorkerConfig config = WorkerConfig{},
@@ -89,7 +93,13 @@ class Worker
     storage::FileStore &fileStore() { return fs; }
     host::CpuPool &hostCpus() { return _hostCpus; }
     host::CpuPool &orchestratorCpus() { return _orchCpus; }
-    net::ObjectStore &objectStore() { return *store; }
+
+    /** The worker-private store (inputs; artifacts too standalone). */
+    net::ObjectStore &objectStore() { return s3; }
+
+    /** The store artifacts stage into (shared one when given). */
+    net::ObjectStore &artifactStore() { return *artifacts; }
+
     const func::TraceGenerator &traceGenerator() const { return gen; }
     const WorkerConfig &config() const { return cfg; }
 
@@ -102,7 +112,7 @@ class Worker
     host::CpuPool _orchCpus;
     net::ObjectStore s3;
     /** Points at s3, or at the fleet-shared store when one was given. */
-    net::ObjectStore *store;
+    net::ObjectStore *artifacts;
     func::TraceGenerator gen;
     Orchestrator orch;
 };

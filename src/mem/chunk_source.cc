@@ -1,0 +1,162 @@
+#include "mem/chunk_source.hh"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace vhive::mem {
+
+ChunkPageSource::ChunkPageSource(sim::Simulation &sim,
+                                 net::ObjectStore &store,
+                                 const storage::ChunkManifest &manifest,
+                                 storage::ChunkStore *resident_cache,
+                                 ChunkSourceParams params,
+                                 ChunkFlights *flights)
+    : sim(sim), store(store), manifest(manifest),
+      cache(resident_cache != nullptr ? resident_cache : &ownedCache),
+      flights(flights != nullptr ? flights : &ownedFlights),
+      params(params)
+{
+    VHIVE_ASSERT(params.batchChunks >= 1);
+    cacheRow.label = "chunk-cache";
+    remoteRow.label = "chunk-remote";
+}
+
+sim::Task<void>
+ChunkPageSource::read(Bytes offset, Bytes len)
+{
+    auto [first, last] = manifest.chunkSpan(offset, len);
+
+    // Classify the span synchronously (no suspension between the
+    // residency check and the flight registration): resident chunks
+    // cost a local copy; chunks some other read is already fetching
+    // are waited for (single-flight — never transferred twice, never
+    // counted resident before their bytes arrive); the rest this read
+    // fetches itself, registering a flight gate per chunk.
+    std::vector<size_t> missing;
+    std::vector<std::shared_ptr<sim::Gate>> waits;
+    std::set<storage::ChunkHash> wait_seen;
+    std::int64_t cache_chunks = 0, wait_chunks = 0;
+    Bytes cache_portion = 0, wait_portion = 0, remote_portion = 0;
+    for (size_t i = first; i <= last; ++i) {
+        const storage::ChunkRef &ref = manifest.chunks[i];
+        Bytes cstart = static_cast<Bytes>(i) * manifest.chunkBytes;
+        Bytes portion = std::min(offset + len, cstart + ref.rawBytes) -
+                        std::max(offset, cstart);
+        if (cache->contains(ref.hash)) {
+            ++cache_chunks;
+            cache_portion += portion;
+            continue;
+        }
+        auto it = flights->find(ref.hash);
+        if (it != flights->end()) {
+            if (wait_seen.insert(ref.hash).second)
+                waits.push_back(it->second);
+            ++wait_chunks;
+            wait_portion += portion;
+            continue;
+        }
+        flights->emplace(ref.hash,
+                         std::make_shared<sim::Gate>(sim));
+        missing.push_back(i);
+        remote_portion += portion;
+    }
+
+    if (!missing.empty()) {
+        ++cacheRow.misses;
+        Time t0 = sim.now();
+        // Batched ranged GETs of the compressed bytes, then a
+        // decompression pass per arriving batch. Only after a batch
+        // lands are its chunks admitted into the resident cache and
+        // their flight gates opened.
+        for (size_t b = 0; b < missing.size();
+             b += static_cast<size_t>(params.batchChunks)) {
+            size_t n = std::min<size_t>(
+                static_cast<size_t>(params.batchChunks),
+                missing.size() - b);
+            Bytes stored_sum = 0, raw_sum = 0, compressed_raw = 0;
+            for (size_t k = b; k < b + n; ++k) {
+                const storage::ChunkRef &ref =
+                    manifest.chunks[missing[k]];
+                stored_sum += ref.storedBytes;
+                raw_sum += ref.rawBytes;
+                if (ref.storedBytes < ref.rawBytes)
+                    compressed_raw += ref.rawBytes;
+            }
+            co_await store.getChunks(static_cast<std::int64_t>(n),
+                                     stored_sum);
+            Duration decompress =
+                params.perChunkDecompress *
+                    static_cast<Duration>(n) +
+                static_cast<Duration>(
+                    static_cast<double>(compressed_raw) /
+                    params.decompressBandwidth * 1e9);
+            co_await sim.delay(decompress);
+            for (size_t k = b; k < b + n; ++k) {
+                const storage::ChunkRef &ref =
+                    manifest.chunks[missing[k]];
+                cache->addRef(ref);
+                auto it = flights->find(ref.hash);
+                if (it != flights->end()) {
+                    it->second->openGate();
+                    flights->erase(it);
+                }
+            }
+            _chunkStats.remoteChunks += static_cast<std::int64_t>(n);
+            _chunkStats.storedBytesFetched += stored_sum;
+            _chunkStats.rawBytesFetched += raw_sum;
+            cacheRow.admissions += static_cast<std::int64_t>(n);
+            cacheRow.bytesAdmitted += raw_sum;
+        }
+        ++remoteRow.hits;
+        remoteRow.bytes += remote_portion;
+        remoteRow.time += sim.now() - t0;
+    }
+
+    if (!waits.empty()) {
+        // In-flight elsewhere: wait for the owning fetch to land the
+        // bytes, then pay the local copy — honest latency, and the
+        // chunk was moved over the network exactly once.
+        Time t0 = sim.now();
+        for (const auto &gate : waits)
+            co_await gate->wait();
+        co_await sim.delay(
+            params.perChunkCacheCopy * wait_chunks +
+            static_cast<Duration>(static_cast<double>(wait_portion) /
+                                  params.cacheBandwidth * 1e9));
+        ++cacheRow.hits;
+        cacheRow.bytes += wait_portion;
+        cacheRow.time += sim.now() - t0;
+        _chunkStats.cacheChunks += wait_chunks;
+        _chunkStats.rawBytesFromCache += wait_portion;
+    }
+
+    if (cache_chunks > 0) {
+        Time t0 = sim.now();
+        co_await sim.delay(
+            params.perChunkCacheCopy * cache_chunks +
+            static_cast<Duration>(static_cast<double>(cache_portion) /
+                                  params.cacheBandwidth * 1e9));
+        ++cacheRow.hits;
+        cacheRow.bytes += cache_portion;
+        cacheRow.time += sim.now() - t0;
+        _chunkStats.cacheChunks += cache_chunks;
+        _chunkStats.rawBytesFromCache += cache_portion;
+    }
+}
+
+sim::Task<void>
+ChunkPageSource::readAll()
+{
+    co_await read(0, manifest.rawBytes());
+}
+
+std::vector<TierStats>
+ChunkPageSource::tierStats() const
+{
+    return {cacheRow, remoteRow};
+}
+
+} // namespace vhive::mem

@@ -38,9 +38,19 @@ PageFetchPipeline::fetchWindowedTimed(Bytes offset, Bytes len,
                                       Bytes windowBytes, int inFlight,
                                       Duration *out)
 {
-    if (windowBytes <= 0 || windowBytes >= len) {
+    if (windowBytes < 0 || windowBytes >= len) {
         // One window covering the range is the contiguous shape.
         co_await fetchContiguousTimed(offset, len, out);
+        co_return;
+    }
+    if (windowBytes == 0) {
+        // Adaptive mode: AIMD-size the windows from observed per-GET
+        // behaviour instead of a caller-chosen constant.
+        Time t0 = sim.now();
+        co_await fetchAdaptive(offset, len, inFlight);
+        snapshotTiers();
+        if (out != nullptr)
+            *out = sim.now() - t0;
         co_return;
     }
     ++_stats.windowedFetches;
@@ -74,6 +84,119 @@ PageFetchPipeline::windowWorker(Bytes offset, Bytes len,
         co_await source.read(off, n);
     }
     done->arrive();
+}
+
+/**
+ * Shared AIMD controller of one adaptive fetch. Workers observe their
+ * own GET (bytes, service time) pairs; two observations with distinct
+ * sizes yield running rtt+overhead ("fixed") and bandwidth estimates,
+ * from which the controller decides: grow additively while the fixed
+ * cost still dominates, halve when a GET takes far longer than the
+ * estimates predict (stream queueing behind the bounded link).
+ */
+struct PageFetchPipeline::AdaptiveState
+{
+    AdaptiveState(sim::Simulation &sim, const AdaptiveWindowParams &p,
+                  int in_flight)
+        : params(p), window(p.minWindow), slots(sim, in_flight),
+          done(sim)
+    {
+    }
+
+    void
+    observe(Bytes bytes, Duration t)
+    {
+        if (havePrev && bytes != prevBytes && t != prevTime) {
+            double bw = static_cast<double>(bytes - prevBytes) /
+                        static_cast<double>(t - prevTime);
+            if (bw > 0) {
+                bwEst = bw;
+                fixedEst = std::max<Duration>(
+                    0, t - static_cast<Duration>(
+                           static_cast<double>(bytes) / bw));
+            }
+        }
+        havePrev = true;
+        prevBytes = bytes;
+        prevTime = t;
+
+        if (bwEst > 0) {
+            Duration stream = static_cast<Duration>(
+                static_cast<double>(bytes) / bwEst);
+            Duration expected = fixedEst + stream;
+            if (static_cast<double>(t) >
+                params.congestionFactor *
+                    static_cast<double>(expected)) {
+                // Far beyond what the per-GET model predicts: the GET
+                // queued for a stream slot. Back off.
+                window = std::max<Bytes>(
+                    params.minWindow,
+                    static_cast<Bytes>(static_cast<double>(window) *
+                                       params.decreaseFactor));
+                return;
+            }
+            double stream_frac = static_cast<double>(stream) /
+                                 static_cast<double>(t);
+            if (stream_frac < params.efficiencyTarget)
+                window = std::min(params.maxWindow,
+                                  window + params.increment);
+        } else {
+            // No bandwidth estimate yet: probe upward so successive
+            // GETs differ in size and the estimator can solve.
+            window = std::min(params.maxWindow,
+                              window + params.increment);
+        }
+    }
+
+    const AdaptiveWindowParams &params;
+    Bytes window;
+    sim::Semaphore slots;
+    sim::Gate done;
+    int outstanding = 0;
+    bool launcherDone = false;
+    std::int64_t windowsIssued = 0;
+
+    bool havePrev = false;
+    Bytes prevBytes = 0;
+    Duration prevTime = 0;
+    double bwEst = 0;       // bytes per nanosecond
+    Duration fixedEst = 0;  // per-GET fixed cost estimate
+};
+
+sim::Task<void>
+PageFetchPipeline::adaptiveWorker(Bytes offset, Bytes len,
+                                  AdaptiveState *st)
+{
+    Time t0 = sim.now();
+    co_await source.read(offset, len);
+    st->observe(len, sim.now() - t0);
+    st->slots.release();
+    if (--st->outstanding == 0 && st->launcherDone)
+        st->done.openGate();
+}
+
+sim::Task<void>
+PageFetchPipeline::fetchAdaptive(Bytes offset, Bytes len, int inFlight)
+{
+    ++_stats.adaptiveFetches;
+    _stats.bytesFetched += len;
+
+    AdaptiveState st(sim, adaptive, std::max(1, inFlight));
+    Bytes cursor = offset;
+    const Bytes end = offset + len;
+    while (cursor < end) {
+        co_await st.slots.acquire();
+        Bytes n = std::min(st.window, end - cursor);
+        ++st.outstanding;
+        ++st.windowsIssued;
+        sim.spawn(adaptiveWorker(cursor, n, &st));
+        cursor += n;
+    }
+    st.launcherDone = true;
+    if (st.outstanding > 0)
+        co_await st.done.wait();
+    _stats.windowsIssued += st.windowsIssued;
+    _stats.convergedWindowBytes = st.window;
 }
 
 sim::Task<void>

@@ -13,7 +13,13 @@
  *  - fetchWindowed(): the range split into fixed-size windows with a
  *    bounded number in flight — N concurrent ranged GETs against the
  *    object store's per-stream bandwidth model, the remote fetch
- *    sweet-spot knob the ROADMAP's batching item calls for.
+ *    sweet-spot knob the ROADMAP's batching item calls for. With
+ *    windowBytes == 0 the window is sized adaptively: an AIMD
+ *    controller grows the window additively while per-GET request
+ *    overhead dominates the observed service time and halves it when
+ *    a GET takes far longer than its own history predicts (stream
+ *    queueing), converging on the sweet spot without knowing the
+ *    store's rtt/bandwidth up front.
  *
  * Loaders pick a source + shape instead of open-coding I/O, so a new
  * cold-start design point is a new composition, not orchestrator
@@ -36,6 +42,39 @@
 
 namespace vhive::mem {
 
+/**
+ * AIMD controller constants for the adaptive windowed fetch
+ * (fetchWindowed with windowBytes == 0).
+ */
+struct AdaptiveWindowParams
+{
+    /** First (and smallest) window probed. */
+    Bytes minWindow = 64 * kKiB;
+
+    /** Largest window the controller will grow to. */
+    Bytes maxWindow = 4 * kMiB;
+
+    /** Additive increase per completed GET while overhead-bound. */
+    Bytes increment = 128 * kKiB;
+
+    /**
+     * Stop growing once this fraction of a GET's observed time is
+     * spent streaming (the rest being the per-request rtt + service
+     * overhead). 0.65 lands the converged window in the sweet-spot
+     * band bench_tiered_window_sweep maps for the remote defaults.
+     */
+    double efficiencyTarget = 0.65;
+
+    /** Multiplicative decrease factor on congestion. */
+    double decreaseFactor = 0.5;
+
+    /**
+     * A GET slower than this multiple of the model-predicted service
+     * time is read as stream queueing -> multiplicative decrease.
+     */
+    double congestionFactor = 1.8;
+};
+
 /** Pipeline accounting, readable by loaders and benches. */
 struct PageFetchStats
 {
@@ -45,6 +84,12 @@ struct PageFetchStats
 
     /** Windows issued across all windowed fetches. */
     std::int64_t windowsIssued = 0;
+
+    /** Adaptive (windowBytes == 0) fetches performed. */
+    std::int64_t adaptiveFetches = 0;
+
+    /** Window size the last adaptive fetch converged on. */
+    Bytes convergedWindowBytes = 0;
 
     Bytes bytesFetched = 0;
 
@@ -85,9 +130,12 @@ class PageFetchPipeline
     /**
      * Windowed shape: [offset, offset+len) split into @p windowBytes
      * ranges with at most @p inFlight concurrent source reads (ranged
-     * GETs on a remote source). Degenerates to fetchContiguous() when
-     * windowBytes is zero or covers the whole range. Moves exactly the
-     * same bytes as fetchContiguous() for any (windowBytes, inFlight).
+     * GETs on a remote source). windowBytes == 0 sizes windows
+     * adaptively (AIMD from observed per-GET rtt/bandwidth; see
+     * adaptiveParams()); degenerates to fetchContiguous() when
+     * windowBytes is negative or covers the whole range. Moves exactly
+     * the same bytes as fetchContiguous() for any (windowBytes,
+     * inFlight).
      */
     sim::Task<void> fetchWindowed(Bytes offset, Bytes len,
                                   Bytes windowBytes, int inFlight);
@@ -96,6 +144,9 @@ class PageFetchPipeline
     sim::Task<void> fetchWindowedTimed(Bytes offset, Bytes len,
                                        Bytes windowBytes, int inFlight,
                                        Duration *out);
+
+    /** AIMD constants of the adaptive windowed shape (mutable). */
+    AdaptiveWindowParams &adaptiveParams() { return adaptive; }
 
     /**
      * ParallelPageFaults shape: @p workers strided tasks issue one
@@ -122,12 +173,24 @@ class PageFetchPipeline
                                  std::int64_t stride,
                                  sim::Latch *done);
 
+    /** Shared state of one adaptive fetch's AIMD controller. */
+    struct AdaptiveState;
+
+    /** The adaptive (windowBytes == 0) fetch body. */
+    sim::Task<void> fetchAdaptive(Bytes offset, Bytes len,
+                                  int inFlight);
+
+    /** One in-flight GET of the adaptive fetch. */
+    sim::Task<void> adaptiveWorker(Bytes offset, Bytes len,
+                                   AdaptiveState *st);
+
     /** Refresh the per-tier snapshot after a fetch completed. */
     void snapshotTiers() { _stats.tiers = source.tierStats(); }
 
     sim::Simulation &sim;
     PageSource &source;
     PageFetchStats _stats;
+    AdaptiveWindowParams adaptive;
 };
 
 } // namespace vhive::mem

@@ -12,6 +12,14 @@ TieredPageSource::addTier(Tier tier)
     tiers.push_back(std::move(tier));
 }
 
+void
+TieredPageSource::setAdmitAfterHits(int n, std::map<Bytes, int> *counts)
+{
+    VHIVE_ASSERT(n >= 1);
+    admitAfterHits = n;
+    lowServes = counts != nullptr ? counts : &ownLowServes;
+}
+
 sim::Task<void>
 TieredPageSource::read(Bytes offset, Bytes len)
 {
@@ -46,7 +54,33 @@ TieredPageSource::read(Bytes offset, Bytes len)
     st.time += sim.now() - t0;
 
     // Warm-tier admission: the fetched range populates every
-    // admittable tier above the one that served it.
+    // admittable tier above the one that served it — but only once
+    // the range has been served from below admitAfterHits times
+    // (admit-on-N-hits; N=1 admits immediately).
+    if (serving == 0)
+        co_return;
+    bool admittable = false;
+    for (size_t i = 0; i < serving; ++i)
+        admittable |= static_cast<bool>(tiers[i].admit);
+    if (!admittable)
+        co_return;
+    if (admitAfterHits > 1) {
+        // Per-page counting keeps the threshold window-shape
+        // independent: admit only when every covered page has been
+        // served from below N times, however cold starts happened to
+        // cut the range into windows.
+        std::map<Bytes, int> &counts =
+            lowServes != nullptr ? *lowServes : ownLowServes;
+        bool reached = true;
+        for (Bytes page = offset / kPageSize,
+                   end = (offset + len + kPageSize - 1) / kPageSize;
+             page < end; ++page) {
+            if (++counts[page] < admitAfterHits)
+                reached = false;
+        }
+        if (!reached)
+            co_return;
+    }
     for (size_t i = 0; i < serving; ++i) {
         if (!tiers[i].admit)
             continue;
@@ -59,7 +93,15 @@ TieredPageSource::read(Bytes offset, Bytes len)
 std::vector<TierStats>
 TieredPageSource::tierStats() const
 {
-    return _stats;
+    std::vector<TierStats> out = _stats;
+    // Sources with internal structure (a chunked backstop) report
+    // their own rows; append them so the split stays visible through
+    // the pipeline. Plain sources report none.
+    for (const Tier &t : tiers) {
+        for (const TierStats &sub : t.source->tierStats())
+            out.push_back(sub);
+    }
+    return out;
 }
 
 } // namespace vhive::mem

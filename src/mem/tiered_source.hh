@@ -18,6 +18,7 @@
 #define VHIVE_MEM_TIERED_SOURCE_HH
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,14 +72,46 @@ class TieredPageSource final : public PageSource
     /** Number of tiers in the chain. */
     int tierCount() const { return static_cast<int>(tiers.size()); }
 
+    /**
+     * Admission threshold: a range served below the admittable tiers
+     * is admitted only on its @p n'th such serve (ReapOptions::
+     * admitAfterHits). 1 — the default — admits on first touch, the
+     * historical behaviour; higher values keep one-shot ranges out of
+     * the warm tiers at the cost of paying the lower tier again.
+     * Serves are counted per page, so the threshold is independent of
+     * the fetch's window shape (fixed and adaptive windows cut the
+     * range differently across cold starts); a range is admitted only
+     * once every page it covers has been served from below N times.
+     * @p counts, when non-null, holds the per-page serve counters —
+     * chains are rebuilt per cold start, so callers that want the
+     * threshold to span cold starts must pass persistent storage
+     * (e.g. hung off the function state); null uses a chain-local
+     * map.
+     */
+    void setAdmitAfterHits(int n,
+                           std::map<Bytes, int> *counts = nullptr);
+
+    /**
+     * Chain rows in tier order, followed by any rows the tier sources
+     * themselves report (e.g. a chunked backstop's cache/remote
+     * split). Plain file/object sources report none, so for the
+     * classic chains this is exactly the per-tier rows.
+     */
+    std::vector<TierStats> tierStats() const override;
+
     const char *name() const override { return "tiered"; }
     sim::Task<void> read(Bytes offset, Bytes len) override;
-    std::vector<TierStats> tierStats() const override;
 
   private:
     sim::Simulation &sim;
     std::vector<Tier> tiers;
     std::vector<TierStats> _stats;
+    int admitAfterHits = 1;
+
+    /** Lower-tier serves seen per range start (admission gating);
+     * points at ownLowServes unless external storage was supplied. */
+    std::map<Bytes, int> *lowServes = nullptr;
+    std::map<Bytes, int> ownLowServes;
 };
 
 } // namespace vhive::mem

@@ -78,4 +78,21 @@ ObjectStore::put(Bytes bytes)
     co_await transfer(bytes);
 }
 
+sim::Task<void>
+ObjectStore::putChunk(Bytes stored_bytes)
+{
+    ++_stats.chunkPuts;
+    co_await put(stored_bytes);
+}
+
+sim::Task<void>
+ObjectStore::getChunks(std::int64_t chunks, Bytes stored_bytes)
+{
+    ++_stats.chunkBatches;
+    _stats.chunksServed += chunks;
+    // One multi-range request; the cost and base accounting are
+    // exactly a ranged GET of the batch's compressed bytes.
+    co_await getRange(0, stored_bytes);
+}
+
 } // namespace vhive::net

@@ -68,6 +68,24 @@ struct ObjectStoreStats
     Bytes bytesStored = 0;
 
     /**
+     * @name Chunked (content-addressed) transfer counters. Chunk
+     * traffic moves compressed bytes, so bytesServed/bytesStored show
+     * what actually crossed the wire while the chunk counters show how
+     * many content-addressed pieces it was batched into.
+     */
+    /// @{
+
+    /** putChunk() uploads (one per newly stored chunk). */
+    std::int64_t chunkPuts = 0;
+
+    /** Batched ranged GETs issued by getChunks(). */
+    std::int64_t chunkBatches = 0;
+
+    /** Chunks served across all getChunks() batches. */
+    std::int64_t chunksServed = 0;
+    /// @}
+
+    /**
      * Stream contention (bounded links only): transfers that had to
      * queue for a stream slot, the total simulated time they spent
      * queued, and the deepest queue observed. At fleet scale these are
@@ -107,6 +125,24 @@ class ObjectStore
 
     /** Store an object of @p bytes; completes when fully durable. */
     sim::Task<void> put(Bytes bytes);
+
+    /**
+     * Store one content-addressed chunk of @p stored_bytes (its
+     * compressed size). Same cost structure as put(); counted
+     * separately so dedup experiments can see uploads avoided.
+     */
+    sim::Task<void> putChunk(Bytes stored_bytes);
+
+    /**
+     * One batched ranged GET serving @p chunks content-addressed
+     * chunks totalling @p stored_bytes compressed bytes: a single
+     * multi-range request pays the round trip, service cost and
+     * stream-slot admission once, then streams the compressed bytes.
+     * Batching is what keeps chunked transfer from collapsing into the
+     * per-page-GET regime Sec. 7.1 warns about; decompression is
+     * charged by the consumer (mem::ChunkPageSource), not the store.
+     */
+    sim::Task<void> getChunks(std::int64_t chunks, Bytes stored_bytes);
 
     const ObjectStoreParams &params() const { return _params; }
     const ObjectStoreStats &stats() const { return _stats; }

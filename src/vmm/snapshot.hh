@@ -4,11 +4,24 @@
  * VMM/device state file and the full guest-memory image. Loading is
  * two-phase — deserialize the VMM state, then map the memory file for
  * lazy paging (or register it with userfaultfd for REAP).
+ *
+ * Snapshot artifacts can additionally be described as content-addressed
+ * chunk manifests (buildSnapshotManifests): the record phase emits one
+ * manifest per artifact so the transfer path can move deduplicated,
+ * compressed chunks instead of opaque blobs. The chunk content model is
+ * deterministic — a configurable fraction of each artifact's chunks is
+ * drawn from a fleet-wide shared runtime-page pool ("How Low Can You
+ * Go?", arXiv:2109.13319: guest kernel, agents and language runtime
+ * pages are identical across functions), the rest is unique to the
+ * function.
  */
 
 #ifndef VHIVE_VMM_SNAPSHOT_HH
 #define VHIVE_VMM_SNAPSHOT_HH
 
+#include <string>
+
+#include "storage/chunk_store.hh"
 #include "storage/file_store.hh"
 #include "util/units.hh"
 
@@ -55,6 +68,82 @@ struct VmmParams
     /** Hypervisor + emulation layer resident overhead (~3 MB). */
     Bytes vmmOverhead = 3 * kMiB;
 };
+
+/**
+ * How snapshot artifacts are split into content-addressed chunks and
+ * what their content looks like to the dedup/compression model.
+ */
+struct ChunkingModel
+{
+    /** Fixed chunk size (only an artifact's final chunk is shorter). */
+    Bytes chunkBytes = 64 * kKiB;
+
+    /** Whether chunks travel compressed (storedBytes < rawBytes). */
+    bool compression = true;
+
+    /**
+     * Mean compressed/raw size ratio. Individual chunks vary
+     * deterministically around the mean (content entropy differs), so
+     * equal hashes always imply equal stored sizes.
+     */
+    double compressRatio = 0.55;
+
+    /**
+     * Fraction of full-size chunks whose content is drawn from the
+     * fleet-shared runtime-page pool (identical across functions:
+     * guest kernel, agents, runtime). The rest — and every partial
+     * tail chunk — is unique to the function.
+     */
+    double crossFunctionDupRatio = 0.35;
+
+    /**
+     * Byte size of the shared runtime pool duplicates draw from.
+     * Draws are skewed toward the pool's head (hot kernel/runtime
+     * pages every function touches), so distinct functions' shared
+     * chunks overlap heavily — the effect dedup exploits.
+     */
+    Bytes sharedPoolBytes = 24 * kMiB;
+};
+
+/** The chunk recipes for one function's transferable artifacts. */
+struct SnapshotManifests
+{
+    storage::ChunkManifest vmmState;
+    storage::ChunkManifest ws;
+
+    Bytes
+    rawBytes() const
+    {
+        return vmmState.rawBytes() + ws.rawBytes();
+    }
+
+    Bytes
+    storedBytes() const
+    {
+        return vmmState.storedBytes() + ws.storedBytes();
+    }
+};
+
+/**
+ * Split an artifact of @p raw_bytes into a deterministic chunk
+ * manifest under @p model. Chunk hashes are stable functions of
+ * (@p artifact, chunk index, model) — shared-pool chunks hash
+ * identically across artifacts and functions, which is what makes
+ * cross-function dedup in a ChunkStore real rather than assumed.
+ */
+storage::ChunkManifest chunkArtifact(const std::string &artifact,
+                                     Bytes raw_bytes,
+                                     const ChunkingModel &model);
+
+/**
+ * Manifests for both transferable snapshot artifacts of @p function:
+ * the serialized VMM/device state and the compact WS file. Emitted at
+ * record time (the WS size is known only then).
+ */
+SnapshotManifests buildSnapshotManifests(const std::string &function,
+                                         Bytes vmm_state_bytes,
+                                         Bytes ws_bytes,
+                                         const ChunkingModel &model);
 
 } // namespace vhive::vmm
 

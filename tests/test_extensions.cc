@@ -443,8 +443,9 @@ TEST(LoaderRegistry, AllModesAreRegistered)
         ColdStartMode::Reap,
         ColdStartMode::RemoteReap,
         ColdStartMode::TieredReap,
+        ColdStartMode::DedupReap,
     };
-    EXPECT_EQ(reg.modes().size(), 7u);
+    EXPECT_EQ(reg.modes().size(), 8u);
     for (ColdStartMode m : all) {
         ASSERT_NE(reg.find(m), nullptr);
         // Registry names agree with the mode-name table.

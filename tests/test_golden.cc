@@ -106,10 +106,12 @@ renderBreakdowns()
         for (ColdStartMode mode : orch.loaders().modes()) {
             const char *label =
                 orch.loaders().loaderFor(mode).name();
-            if (mode == ColdStartMode::TieredReap) {
+            if (mode == ColdStartMode::TieredReap ||
+                mode == ColdStartMode::DedupReap) {
                 // RemoteReap already staged the artifacts, so stage
                 // invalidation never ran: evict explicitly to render
-                // the fresh-worker chain walk, then the warmed one.
+                // the fresh-worker chain walk (for DedupReap: the
+                // chunked remote path), then the warmed one.
                 orch.evictLocalArtifacts("helloworld");
                 auto fresh = co_await orch.invoke("helloworld", mode,
                                                   opts);
