@@ -22,6 +22,13 @@
  * contention. `VHIVE_BENCH_JSON=BENCH_fleet.json` exports rows; the
  * CI perf-smoke job gates the events/sec of a fixed cell against
  * ci/perf_floor.json. VHIVE_FLEET_MAX_WORKERS caps the sweep (CI).
+ *
+ * Part 2 sweeps the multi-core kernel (cluster::ParallelFleet over
+ * sim::ParallelKernel): workers x sim threads, REAP mode. Simulated
+ * results must be bit-identical across thread counts — the digest
+ * column compares every cell against its threads=1 reference — while
+ * wall_s and Mev/s show the parallel speedup. VHIVE_FLEET_MAX_THREADS
+ * caps the thread axis (CI runners have few cores).
  */
 
 #include <chrono>
@@ -32,6 +39,7 @@
 #include "bench/common.hh"
 #include "cluster/azure_workload.hh"
 #include "cluster/cluster.hh"
+#include "cluster/parallel_fleet.hh"
 #include "cluster/routing_policy.hh"
 #include "core/options.hh"
 #include "util/table.hh"
@@ -89,6 +97,39 @@ runCell(int workers, cluster::RoutingPolicyKind policy,
             ? static_cast<double>(sim.eventsProcessed()) / r.wall_s
             : 0;
     return r;
+}
+
+struct ParallelCell {
+    cluster::ParallelFleetResult fleet;
+    double wall_s = 0;
+    double events_per_sec = 0;
+};
+
+ParallelCell
+runParallelCell(int workers, int threads)
+{
+    cluster::ParallelFleetConfig cfg;
+    cfg.workers = workers;
+    cfg.simThreads = threads;
+    cfg.coldStartMode = core::ColdStartMode::Reap;
+    cfg.keepAlive = sec(60);
+    cfg.routingPolicy = cluster::RoutingPolicyKind::LocalityHash;
+    cfg.workload.functions = 12;
+    cfg.workload.minInterarrival = sec(2);
+    cfg.workload.maxInterarrival = sec(120);
+    cfg.workload.horizon = sec(600);
+
+    cluster::ParallelFleet fleet(cfg);
+    ParallelCell c;
+    auto host0 = std::chrono::steady_clock::now();
+    c.fleet = fleet.run();
+    auto host1 = std::chrono::steady_clock::now();
+    c.wall_s = std::chrono::duration<double>(host1 - host0).count();
+    c.events_per_sec =
+        c.wall_s > 0 ? static_cast<double>(c.fleet.eventsProcessed) /
+                           c.wall_s
+                     : 0;
+    return c;
 }
 
 } // namespace
@@ -157,6 +198,64 @@ main()
         }
     }
     t.print();
+
+    bench::banner("Multi-core fleet kernel: workers x sim threads "
+                  "(ParallelKernel, REAP, locality-hash)");
+
+    int max_threads = 8;
+    if (const char *cap = std::getenv("VHIVE_FLEET_MAX_THREADS"))
+        max_threads = std::atoi(cap);
+
+    Table pt({"workers", "threads", "inv", "cold%", "p50_ms", "p99_ms",
+              "digest", "windows", "wall_s", "Mev/s", "speedup"});
+    for (int workers : {1, 4, 16, 64}) {
+        if (workers > max_workers)
+            continue;
+        std::uint64_t ref_digest = 0;
+        double ref_wall = 0;
+        for (int threads : {1, 2, 4, 8}) {
+            if (threads > max_threads)
+                continue;
+            ParallelCell c = runParallelCell(workers, threads);
+            std::uint64_t d = c.fleet.digest();
+            const char *match = "ref";
+            if (threads == 1) {
+                ref_digest = d;
+                ref_wall = c.wall_s;
+            } else {
+                match = d == ref_digest ? "match" : "MISMATCH";
+            }
+            std::string cell = "pworkers=" + std::to_string(workers) +
+                               "/threads=" + std::to_string(threads) +
+                               "/mode=reap";
+            pt.row()
+                .cell(static_cast<std::int64_t>(workers))
+                .cell(static_cast<std::int64_t>(threads))
+                .cell(c.fleet.invocations)
+                .cell(100.0 * c.fleet.coldFraction(), 1)
+                .cell(c.fleet.coldP50(), 1)
+                .cell(c.fleet.coldP99(), 1)
+                .cell(match)
+                .cell(c.fleet.windows)
+                .cell(c.wall_s, 2)
+                .cell(c.events_per_sec / 1e6, 1)
+                .cell(c.wall_s > 0 ? ref_wall / c.wall_s : 0, 2);
+            json.row(cell, "cold_p50_ms", c.fleet.coldP50());
+            json.row(cell, "cold_p99_ms", c.fleet.coldP99());
+            json.row(cell, "digest_matches_ref",
+                     d == ref_digest ? 1 : 0);
+            json.row(cell, "wall_s", c.wall_s, c.events_per_sec);
+        }
+    }
+    pt.print();
+
+    std::printf(
+        "\nThe digest column fingerprints every simulated quantity "
+        "(latencies, counters,\nevent totals): `match` means the run "
+        "is bit-identical to its threads=1\nreference, so extra sim "
+        "threads change wall-clock only. Speedup is the\n"
+        "threads=1 wall time of the same fleet divided by this "
+        "cell's.\n");
 
     std::printf(
         "\nShared staging builds each function's snapshot once and "

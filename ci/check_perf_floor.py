@@ -10,6 +10,16 @@ than 30% below the floor. Floors are calibrated conservatively (about
 half the dev-box throughput) because GitHub-hosted runner pools span
 ~2x in single-thread speed; the gate is meant to catch large kernel
 regressions (an O(log n) event path sneaking back in), not small ones.
+
+The gate fails loudly, never silently:
+  - an unreadable or malformed artifact/floor file is an error (a
+    bench that crashed before writing rows must not pass the gate);
+  - a floor entry with no matching artifact row is an error (a
+    renamed cell or a bench dropped from the CI sweep must not turn
+    the gate into a no-op).
+
+Exit codes: 0 ok, 1 regression/missing rows, 2 bad invocation or
+unreadable/malformed input.
 """
 
 import json
@@ -18,16 +28,41 @@ import sys
 TOLERANCE = 0.70  # fail when below floor * TOLERANCE
 
 
+def die(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, what):
+    """Parse a JSON file, exiting with a clear message on any failure."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        die(f"cannot read {what} {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        die(f"malformed JSON in {what} {path}: {e}")
+
+
 def main():
     if len(sys.argv) < 3:
         print(__doc__.strip())
         return 2
-    with open(sys.argv[1]) as f:
-        floors = json.load(f)
+
+    floors = load_json(sys.argv[1], "floor file")
+    if not isinstance(floors, dict):
+        die(f"floor file {sys.argv[1]} is not an object")
+
     rows = []
     for path in sys.argv[2:]:
-        with open(path) as f:
-            rows += json.load(f)
+        data = load_json(path, "bench artifact")
+        if not isinstance(data, list):
+            die(f"bench artifact {path} is not a row list")
+        for i, row in enumerate(data):
+            if not isinstance(row, dict) or "bench" not in row \
+                    or "cell" not in row:
+                die(f"{path} row {i} lacks bench/cell: {row!r}")
+        rows += data
 
     failed = False
     for bench, cells in floors.items():
@@ -40,7 +75,11 @@ def main():
                 and "events_per_sec" in r
             ]
             if not match:
-                print(f"MISSING   {bench}/{cell}: no row in artifacts")
+                print(
+                    f"MISSING   {bench}/{cell}: no events_per_sec row "
+                    f"in any artifact -- the bench did not run this "
+                    f"cell (env cap too low? cell renamed?)"
+                )
                 failed = True
                 continue
             got = max(r["events_per_sec"] for r in match)
@@ -52,6 +91,8 @@ def main():
                 f"(floor {floor / 1e6:.2f}, limit {limit / 1e6:.2f})"
             )
             failed |= not ok
+    if failed:
+        print("perf floor gate FAILED", file=sys.stderr)
     return 1 if failed else 0
 
 

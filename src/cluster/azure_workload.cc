@@ -7,35 +7,48 @@
 
 namespace vhive::cluster {
 
-AzureWorkload::AzureWorkload(sim::Simulation &sim, Cluster &cluster,
-                             AzureWorkloadConfig config)
-    : sim(sim), cluster(cluster), cfg(std::move(config)),
-      rng(cfg.seed, "azure-workload")
+std::vector<AzureMixEntry>
+synthesizeAzureMix(const AzureWorkloadConfig &cfg)
 {
     VHIVE_ASSERT(cfg.functions >= 1);
     VHIVE_ASSERT(!cfg.profilePool.empty());
     VHIVE_ASSERT(cfg.minInterarrival > 0 &&
                  cfg.maxInterarrival >= cfg.minInterarrival);
 
+    Rng rng(cfg.seed, "azure-workload");
     const auto &pool = func::functionBench();
     double log_min =
         std::log(static_cast<double>(cfg.minInterarrival));
     double log_max =
         std::log(static_cast<double>(cfg.maxInterarrival));
+    std::vector<AzureMixEntry> mix;
+    mix.reserve(static_cast<size_t>(cfg.functions));
     for (int i = 0; i < cfg.functions; ++i) {
         int pool_idx = cfg.profilePool[static_cast<size_t>(i) %
                                        cfg.profilePool.size()];
         func::FunctionProfile p =
             pool[static_cast<size_t>(pool_idx)];
         p.name = "az_" + std::to_string(i) + "_" + p.name;
-        names.push_back(p.name);
-        cluster.deploy(p);
 
         // Log-uniform inter-arrival: most functions end up sporadic,
         // matching the Azure study's long tail.
         double u = rng.uniform();
-        interarrival.push_back(static_cast<Duration>(
-            std::exp(log_min + u * (log_max - log_min))));
+        mix.push_back(AzureMixEntry{
+            std::move(p),
+            static_cast<Duration>(
+                std::exp(log_min + u * (log_max - log_min)))});
+    }
+    return mix;
+}
+
+AzureWorkload::AzureWorkload(sim::Simulation &sim, Cluster &cluster,
+                             AzureWorkloadConfig config)
+    : sim(sim), cluster(cluster), cfg(std::move(config))
+{
+    for (auto &entry : synthesizeAzureMix(cfg)) {
+        names.push_back(entry.profile.name);
+        cluster.deploy(entry.profile);
+        interarrival.push_back(entry.meanInterarrival);
     }
 }
 

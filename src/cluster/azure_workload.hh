@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "func/profile.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
 #include "util/rng.hh"
@@ -61,6 +62,24 @@ struct AzureWorkloadConfig
      */
     std::vector<int> profilePool = {0, 1, 2, 3, 4, 5, 7};
 };
+
+/** One synthesized function of the Azure mix. */
+struct AzureMixEntry
+{
+    func::FunctionProfile profile;
+    Duration meanInterarrival;
+};
+
+/**
+ * Synthesize the deterministic function mix @p cfg describes: profile
+ * picks cycle through cfg.profilePool and mean inter-arrivals are
+ * log-uniform over [minInterarrival, maxInterarrival], all driven by
+ * Rng(cfg.seed, "azure-workload") in deployment order. Shared by
+ * AzureWorkload (sequential cluster) and cluster::ParallelFleet so the
+ * two drive bit-identical mixes.
+ */
+std::vector<AzureMixEntry> synthesizeAzureMix(
+    const AzureWorkloadConfig &cfg);
 
 /** Results of one workload run. */
 struct AzureWorkloadResult
@@ -111,7 +130,6 @@ class AzureWorkload
     AzureWorkloadConfig cfg;
     std::vector<std::string> names;
     std::vector<Duration> interarrival;
-    Rng rng;
     bool samplerStopping = false;
     double memIntegralMbSec = 0;
     Duration sampledFor = 0;

@@ -1,0 +1,371 @@
+#include "cluster/parallel_fleet.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vhive::cluster {
+
+namespace {
+
+/** FNV-1a accumulation of one 64-bit quantity. */
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 1099511628211ull;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+ParallelFleetResult::digest() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    fnvMix(h, static_cast<std::uint64_t>(invocations));
+    fnvMix(h, static_cast<std::uint64_t>(coldStarts));
+    fnvMix(h, static_cast<std::uint64_t>(warmHits));
+    fnvMix(h, static_cast<std::uint64_t>(scaleDowns));
+    fnvMix(h, static_cast<std::uint64_t>(eventsProcessed));
+    fnvMix(h, static_cast<std::uint64_t>(windows));
+    fnvMix(h, static_cast<std::uint64_t>(messages));
+    for (const Samples *s : {&e2eLatencyMs, &coldE2eMs, &warmE2eMs}) {
+        fnvMix(h, static_cast<std::uint64_t>(s->count()));
+        for (double v : s->values())
+            fnvMix(h, std::bit_cast<std::uint64_t>(v));
+    }
+    return h;
+}
+
+ParallelFleet::ParallelFleet(ParallelFleetConfig config)
+    : cfg(std::move(config)), kernel(cfg.workers + 1, cfg.simThreads)
+{
+    VHIVE_ASSERT(cfg.workers >= 1);
+    if (cfg.coldStartMode == core::ColdStartMode::RemoteReap ||
+        cfg.coldStartMode == core::ColdStartMode::DedupReap) {
+        fatal("ParallelFleet does not support registry-backed "
+              "cold-start modes yet (%s needs the shared "
+              "SnapshotRegistry; see ROADMAP)",
+              core::coldStartModeName(cfg.coldStartMode));
+    }
+
+    mix = synthesizeAzureMix(cfg.workload);
+    for (std::size_t i = 0; i < mix.size(); ++i)
+        fnIndex[mix[i].profile.name] = static_cast<int>(i);
+
+    mirrorIdle.assign(static_cast<std::size_t>(cfg.workers),
+                      std::vector<std::int64_t>(mix.size(), 0));
+    mirrorInFlight.assign(static_cast<std::size_t>(cfg.workers), 0);
+    activePolicy = &policies.policyFor(cfg.routingPolicy);
+
+    nodes.reserve(static_cast<std::size_t>(cfg.workers));
+    for (int w = 0; w < cfg.workers; ++w) {
+        auto node = std::make_unique<WorkerNode>();
+        core::WorkerConfig wc = cfg.worker;
+        // Same per-worker seed derivation as cluster::Cluster.
+        wc.seed = cfg.worker.seed + static_cast<std::uint64_t>(w);
+        node->worker = std::make_unique<core::Worker>(
+            kernel.sim(1 + w), wc);
+        node->fromControl =
+            std::make_unique<sim::CrossPort<WorkerMsg>>(
+                kernel, kernel.domain(0), kernel.domain(1 + w),
+                cfg.fabricHop);
+        node->toControl =
+            std::make_unique<sim::CrossPort<ControlMsg>>(
+                kernel, kernel.domain(1 + w), kernel.domain(0),
+                cfg.fabricHop);
+        node->lastUsed.assign(mix.size(), 0);
+        nodes.push_back(std::move(node));
+    }
+}
+
+ParallelFleet::~ParallelFleet() = default;
+
+// ------------------------------------------------------- mirror view
+
+int
+ParallelFleet::MirrorView::workerCount() const
+{
+    return fleet.cfg.workers;
+}
+
+std::int64_t
+ParallelFleet::MirrorView::idleInstances(int worker,
+                                         const std::string &name) const
+{
+    auto it = fleet.fnIndex.find(name);
+    if (it == fleet.fnIndex.end())
+        return 0;
+    return fleet.mirrorIdle[static_cast<std::size_t>(worker)]
+                           [static_cast<std::size_t>(it->second)];
+}
+
+std::int64_t
+ParallelFleet::MirrorView::inFlight(int worker) const
+{
+    return fleet.mirrorInFlight[static_cast<std::size_t>(worker)];
+}
+
+Bytes
+ParallelFleet::MirrorView::residentBytes(int) const
+{
+    // The mirror does not track instance memory; load-aware policies
+    // in this build consult idle/in-flight counters only.
+    return 0;
+}
+
+bool
+ParallelFleet::MirrorView::artifactsLocal(int, const std::string &) const
+{
+    // No shared registry: snapshots are prepared on every worker, so
+    // artifacts are always local — same as the non-shared Cluster.
+    return true;
+}
+
+// --------------------------------------------------- worker domain
+
+sim::Task<void>
+ParallelFleet::workerMain(int w)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    auto &orch = node.worker->orchestrator();
+    sim::Simulation &wsim = kernel.sim(1 + w);
+
+    for (const auto &entry : mix)
+        orch.registerFunction(entry.profile);
+    for (const auto &entry : mix)
+        co_await orch.prepareSnapshot(entry.profile.name);
+
+    bool mode_needs_record = orch.loaders()
+                                 .loaderFor(cfg.coldStartMode)
+                                 .needsRecord();
+    if (cfg.workload.preRecordWorkingSets && mode_needs_record) {
+        // One record-phase invocation per function, off the measured
+        // window — mirrors AzureWorkload::run's pre-record pass.
+        for (const auto &entry : mix) {
+            orch.flushHostCaches();
+            core::InvokeOptions opts;
+            opts.forceCold = true;
+            (void)co_await orch.invoke(entry.profile.name,
+                                       cfg.coldStartMode, opts);
+        }
+    }
+
+    node.toControl->send(ControlMsg{ControlMsg::Ready, 0, 0, false,
+                                    0, 0});
+    wsim.spawn(workerJanitor(w));
+
+    while (true) {
+        WorkerMsg msg = co_await node.fromControl->recv();
+        if (msg.kind == WorkerMsg::Shutdown)
+            break;
+        ++node.liveInvokes;
+        wsim.spawn(workerInvoke(w, msg));
+    }
+
+    // The control plane only shuts down once every reply gate has
+    // resolved, so the worker is necessarily drained here.
+    VHIVE_ASSERT(node.liveInvokes == 0);
+    node.stopping = true;
+    node.toControl->send(ControlMsg{ControlMsg::Bye, 0, 0, false,
+                                    0, 0});
+}
+
+sim::Task<void>
+ParallelFleet::workerInvoke(int w, WorkerMsg msg)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    auto &orch = node.worker->orchestrator();
+    const std::string &name =
+        mix[static_cast<std::size_t>(msg.fnIdx)].profile.name;
+
+    core::InvokeOptions opts;
+    opts.keepWarm = true;
+    auto bd = co_await orch.invoke(name, cfg.coldStartMode, opts);
+
+    node.lastUsed[static_cast<std::size_t>(msg.fnIdx)] =
+        kernel.sim(1 + w).now();
+    --node.liveInvokes;
+
+    ControlMsg reply;
+    reply.kind = ControlMsg::Done;
+    reply.reqId = msg.reqId;
+    reply.fnIdx = msg.fnIdx;
+    reply.cold = bd.cold;
+    reply.idleNow = orch.idleInstanceCount(name);
+    node.toControl->send(reply);
+}
+
+sim::Task<void>
+ParallelFleet::workerJanitor(int w)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    auto &orch = node.worker->orchestrator();
+    sim::Simulation &wsim = kernel.sim(1 + w);
+
+    while (!node.stopping) {
+        co_await wsim.delay(cfg.scalePeriod);
+        if (node.stopping)
+            break;
+        for (std::size_t fn = 0; fn < mix.size(); ++fn) {
+            const std::string &name = mix[fn].profile.name;
+            if (orch.idleInstanceCount(name) == 0)
+                continue;
+            if (wsim.now() - node.lastUsed[fn] < cfg.keepAlive)
+                continue;
+            std::int64_t stopped =
+                co_await orch.stopIdleInstances(name);
+            if (stopped > 0) {
+                ++node.scaleDowns;
+                ControlMsg msg;
+                msg.kind = ControlMsg::ScaledDown;
+                msg.fnIdx = static_cast<int>(fn);
+                msg.idleNow = orch.idleInstanceCount(name);
+                msg.stopped = stopped;
+                node.toControl->send(msg);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- control domain
+
+sim::Task<void>
+ParallelFleet::replyPump(int w, sim::Latch *ready, sim::Latch *byes)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    sim::Simulation &csim = kernel.sim(0);
+
+    while (true) {
+        ControlMsg msg = co_await node.toControl->recv();
+        switch (msg.kind) {
+          case ControlMsg::Ready:
+            ready->arrive();
+            break;
+          case ControlMsg::Done: {
+            auto it = pending.find(msg.reqId);
+            VHIVE_ASSERT(it != pending.end());
+            PendingReq &pr = it->second;
+            Duration e2e = csim.now() - pr.t0;
+            mirrorIdle[static_cast<std::size_t>(w)]
+                      [static_cast<std::size_t>(msg.fnIdx)] =
+                msg.idleNow;
+            --mirrorInFlight[static_cast<std::size_t>(w)];
+            ++result.invocations;
+            result.e2eLatencyMs.add(toMs(e2e));
+            if (msg.cold) {
+                ++result.coldStarts;
+                result.coldE2eMs.add(toMs(e2e));
+            } else {
+                ++result.warmHits;
+                result.warmE2eMs.add(toMs(e2e));
+            }
+            pr.done->openGate();
+            pending.erase(it);
+            break;
+          }
+          case ControlMsg::ScaledDown:
+            mirrorIdle[static_cast<std::size_t>(w)]
+                      [static_cast<std::size_t>(msg.fnIdx)] =
+                msg.idleNow;
+            break;
+          case ControlMsg::Bye:
+            byes->arrive();
+            co_return;
+        }
+    }
+}
+
+sim::Task<void>
+ParallelFleet::arrivalLoop(int fn_idx, sim::Latch *done)
+{
+    sim::Simulation &csim = kernel.sim(0);
+    const AzureMixEntry &entry =
+        mix[static_cast<std::size_t>(fn_idx)];
+    // Same arrival stream construction as AzureWorkload::arrivalLoop.
+    Rng local(cfg.workload.seed,
+              "azure-arrivals/" + entry.profile.name);
+    Time deadline = csim.now() + cfg.workload.horizon;
+
+    while (true) {
+        Duration gap = static_cast<Duration>(local.exponential(
+            static_cast<double>(entry.meanInterarrival)));
+        if (csim.now() + gap >= deadline)
+            break;
+        co_await csim.delay(gap);
+
+        int widx = activePolicy->route(
+            RouteContext{entry.profile.name, view});
+        VHIVE_ASSERT(widx >= 0 && widx < cfg.workers);
+
+        std::int64_t id = nextReqId++;
+        sim::Gate gate(csim);
+        PendingReq pr;
+        pr.t0 = csim.now();
+        pr.fnIdx = fn_idx;
+        pr.worker = widx;
+        pr.done = &gate;
+        pending.emplace(id, pr);
+
+        // Optimistically claim the warm instance the route expects to
+        // hit; the worker's Done reply re-syncs the true count.
+        auto &idle = mirrorIdle[static_cast<std::size_t>(widx)]
+                               [static_cast<std::size_t>(fn_idx)];
+        if (idle > 0)
+            --idle;
+        ++mirrorInFlight[static_cast<std::size_t>(widx)];
+
+        WorkerMsg msg;
+        msg.kind = WorkerMsg::Invoke;
+        msg.reqId = id;
+        msg.fnIdx = fn_idx;
+        nodes[static_cast<std::size_t>(widx)]->fromControl->send(msg);
+
+        co_await gate.wait(); // closed loop: next draw after reply
+    }
+    done->arrive();
+}
+
+sim::Task<void>
+ParallelFleet::controlMain()
+{
+    sim::Simulation &csim = kernel.sim(0);
+
+    sim::Latch ready(csim, cfg.workers);
+    sim::Latch byes(csim, cfg.workers);
+    for (int w = 0; w < cfg.workers; ++w)
+        csim.spawn(replyPump(w, &ready, &byes));
+    co_await ready.wait();
+
+    sim::Latch done(csim, static_cast<std::int64_t>(mix.size()));
+    for (std::size_t fn = 0; fn < mix.size(); ++fn)
+        csim.spawn(arrivalLoop(static_cast<int>(fn), &done));
+    co_await done.wait();
+
+    for (auto &node : nodes)
+        node->fromControl->send(
+            WorkerMsg{WorkerMsg::Shutdown, 0, 0});
+    co_await byes.wait();
+}
+
+ParallelFleetResult
+ParallelFleet::run()
+{
+    for (int w = 0; w < cfg.workers; ++w)
+        kernel.sim(1 + w).spawn(workerMain(w));
+    kernel.sim(0).spawn(controlMain());
+
+    kernel.run();
+
+    result.eventsProcessed = kernel.totalEventsProcessed();
+    result.windows = kernel.stats().windows;
+    result.messages = kernel.stats().messages;
+    for (const auto &node : nodes)
+        result.scaleDowns += node->scaleDowns;
+    return result;
+}
+
+} // namespace vhive::cluster

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Multi-core fleet simulation: the Azure-mix fleet scenario of
+ * bench_fleet_cold_p99, sharded over a sim::ParallelKernel so each
+ * worker host simulates on its own core.
+ *
+ * Domain layout: domain 0 is the control plane (front-end router,
+ * arrival synthesis, autoscaler bookkeeping mirror); domains 1..W are
+ * worker hosts, each owning a full core::Worker (disk, stores,
+ * orchestrator, uffd). All cross-domain interaction flows through two
+ * CrossPorts per worker (invoke requests down, completion/scale
+ * notices up), both with the cluster fabric-hop latency — which is
+ * also the kernel's lookahead, so a window spans one fabric hop of
+ * simulated time.
+ *
+ * Relation to cluster::Cluster: same worker model, same Azure mix
+ * (cluster::synthesizeAzureMix), same fabric-hop request shape
+ * (request hop + worker-side invoke + response hop), same keep-alive
+ * scale-to-zero policy. The control plane routes on a *mirrored* view
+ * of worker warm/in-flight state that trails reality by one fabric
+ * hop — exactly what a distributed front-end would see — so absolute
+ * results differ slightly from the sequential Cluster's omniscient
+ * router; what the parallel kernel guarantees is that results are
+ * bit-identical across thread counts (threads = 1 is the reference),
+ * which tests/test_parallel.cc locks with digest().
+ *
+ * Restrictions: cold-start modes requiring the shared SnapshotRegistry
+ * (RemoteReap/DedupReap staging) are rejected — the registry is a
+ * cross-worker shared object the port model does not cover yet (see
+ * ROADMAP). Snapshots are prepared per worker, as the non-shared
+ * Cluster does.
+ */
+
+#ifndef VHIVE_CLUSTER_PARALLEL_FLEET_HH
+#define VHIVE_CLUSTER_PARALLEL_FLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/azure_workload.hh"
+#include "cluster/routing_policy.hh"
+#include "core/worker.hh"
+#include "net/rpc.hh"
+#include "sim/parallel.hh"
+#include "util/stats.hh"
+
+namespace vhive::cluster {
+
+/** Configuration of a parallel fleet run. */
+struct ParallelFleetConfig
+{
+    /** Worker hosts (= worker domains). */
+    int workers = 4;
+
+    /** Threads the kernel runs domains on (wall-clock only). */
+    int simThreads = 1;
+
+    /** Per-worker host configuration. */
+    core::WorkerConfig worker{};
+
+    /** Cold-start strategy (registry-free modes only). */
+    core::ColdStartMode coldStartMode = core::ColdStartMode::Reap;
+
+    /** Idle time after which instances scale to zero. */
+    Duration keepAlive = sec(600);
+
+    /** Worker-side autoscaler sweep period. */
+    Duration scalePeriod = sec(2);
+
+    /** Front-end routing strategy. */
+    RoutingPolicyKind routingPolicy = RoutingPolicyKind::WarmFirst;
+
+    /** The Azure mix to synthesize and drive. */
+    AzureWorkloadConfig workload{};
+
+    /**
+     * Control-plane <-> worker fabric latency: the per-direction hop
+     * every request pays, and the kernel's lookahead window.
+     */
+    Duration fabricHop = net::RpcParams{}.clusterHop;
+};
+
+/** Results of one parallel fleet run. */
+struct ParallelFleetResult
+{
+    std::int64_t invocations = 0;
+    std::int64_t coldStarts = 0;
+    std::int64_t warmHits = 0;
+    std::int64_t scaleDowns = 0;
+
+    Samples e2eLatencyMs;  ///< all invocations, arrival order
+    Samples coldE2eMs;     ///< cold-start invocations
+    Samples warmE2eMs;     ///< warm invocations
+
+    /** Kernel work: total events across domains, sync windows. */
+    std::int64_t eventsProcessed = 0;
+    std::int64_t windows = 0;
+    std::int64_t messages = 0;
+
+    double
+    coldFraction() const
+    {
+        auto total = coldStarts + warmHits;
+        return total ? static_cast<double>(coldStarts) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double coldP50() const { return coldE2eMs.percentile(50); }
+    double coldP99() const { return coldE2eMs.percentile(99); }
+
+    /**
+     * FNV-1a fingerprint over every simulated quantity (per-sample
+     * latency bit patterns in arrival order, counters, event totals).
+     * Two runs are bit-identical iff digests match; the determinism
+     * suite asserts equality across thread counts.
+     */
+    std::uint64_t digest() const;
+};
+
+/**
+ * Builds the domains, wires the ports, runs the workload, aggregates.
+ * One-shot: construct, run(), read the result.
+ */
+class ParallelFleet
+{
+  public:
+    explicit ParallelFleet(ParallelFleetConfig config);
+    ~ParallelFleet();
+
+    ParallelFleet(const ParallelFleet &) = delete;
+    ParallelFleet &operator=(const ParallelFleet &) = delete;
+
+    /**
+     * Run the fleet to completion on the configured thread count.
+     * Blocking host call (not a coroutine): drives the parallel
+     * kernel until every domain is quiescent.
+     */
+    ParallelFleetResult run();
+
+    const sim::ParallelKernel::Stats &kernelStats() const
+    {
+        return kernel.stats();
+    }
+
+  private:
+    /** Control -> worker commands. */
+    struct WorkerMsg {
+        enum Kind { Invoke, Shutdown } kind = Invoke;
+        std::int64_t reqId = 0;
+        int fnIdx = 0;
+    };
+
+    /** Worker -> control notices. */
+    struct ControlMsg {
+        enum Kind { Ready, Done, ScaledDown, Bye } kind = Ready;
+        std::int64_t reqId = 0;
+        int fnIdx = 0;
+        bool cold = false;
+
+        /** Worker's idle-instance count for fnIdx after the event. */
+        std::int64_t idleNow = 0;
+
+        /** Instances stopped (ScaledDown). */
+        std::int64_t stopped = 0;
+    };
+
+    /** One worker domain: the host plus its message loops. */
+    struct WorkerNode {
+        std::unique_ptr<core::Worker> worker;
+        std::unique_ptr<sim::CrossPort<WorkerMsg>> fromControl;
+        std::unique_ptr<sim::CrossPort<ControlMsg>> toControl;
+
+        /** Completion time per function (index), for keep-alive. */
+        std::vector<Time> lastUsed;
+
+        std::int64_t liveInvokes = 0;
+        std::int64_t scaleDowns = 0;
+        bool stopping = false;
+    };
+
+    /** Control-side record of an in-flight request. */
+    struct PendingReq {
+        Time t0 = 0;
+        int fnIdx = 0;
+        int worker = 0;
+        sim::Gate *done = nullptr;
+        bool cold = false;
+        Duration e2e = 0;
+    };
+
+    /** Mirrored worker state the routing policies consult. */
+    class MirrorView final : public FleetView
+    {
+      public:
+        explicit MirrorView(ParallelFleet &fleet) : fleet(fleet) {}
+        int workerCount() const override;
+        std::int64_t idleInstances(
+            int worker, const std::string &name) const override;
+        std::int64_t inFlight(int worker) const override;
+        Bytes residentBytes(int worker) const override;
+        bool artifactsLocal(int worker,
+                            const std::string &name) const override;
+
+      private:
+        ParallelFleet &fleet;
+    };
+
+    /** @name Worker-domain coroutines. */
+    /// @{
+    sim::Task<void> workerMain(int w);
+    sim::Task<void> workerInvoke(int w, WorkerMsg msg);
+    sim::Task<void> workerJanitor(int w);
+    /// @}
+
+    /** @name Control-domain coroutines. */
+    /// @{
+    sim::Task<void> controlMain();
+    sim::Task<void> arrivalLoop(int fn_idx, sim::Latch *done);
+    sim::Task<void> replyPump(int w, sim::Latch *ready,
+                              sim::Latch *byes);
+    /// @}
+
+    ParallelFleetConfig cfg;
+    sim::ParallelKernel kernel;
+    std::vector<AzureMixEntry> mix;
+    std::unordered_map<std::string, int> fnIndex;
+    std::vector<std::unique_ptr<WorkerNode>> nodes;
+
+    /** @name Control-domain state (domain 0 only). */
+    /// @{
+    RoutingPolicyRegistry policies;
+    RoutingPolicy *activePolicy = nullptr;
+    MirrorView view{*this};
+    std::vector<std::vector<std::int64_t>> mirrorIdle; // [w][fn]
+    std::vector<std::int64_t> mirrorInFlight;          // [w]
+    std::unordered_map<std::int64_t, PendingReq> pending;
+    std::int64_t nextReqId = 0;
+    ParallelFleetResult result;
+    /// @}
+};
+
+} // namespace vhive::cluster
+
+#endif // VHIVE_CLUSTER_PARALLEL_FLEET_HH

@@ -16,20 +16,59 @@ UserFaultFd::raiseAndWait(std::int64_t page, std::int64_t run_pages)
     ++_stats.faultsDelivered;
     _stats.pagesRequested += run_pages;
 
-    // Kernel intercepts the fault and queues the event.
-    co_await sim.delay(_params.faultTrap);
-
     FaultEvent ev;
     ev.page = page;
     ev.runPages = run_pages;
     ev.done = std::make_shared<sim::Gate>(sim);
-    ev.raisedAt = sim.now();
+    // Maturity instant: when the kernel finishes intercepting the
+    // fault and the event becomes visible to the monitor.
+    ev.raisedAt = sim.now() + _params.faultTrap;
     auto done = ev.done;
-    events.send(std::move(ev));
+
+    if (trapOwner) {
+        // A leader fault's trap completion (or the dispatcher) is
+        // already scheduled at or before our maturity instant and will
+        // deliver us: no kernel event of our own. The constant trap
+        // cost keeps inTrap monotone in raisedAt.
+        inTrap.pushBack(std::move(ev));
+        ++_stats.faultsCoalesced;
+    } else {
+        // Leader: pay the trap cost, deliver ourselves, then sweep up
+        // any followers that matured at the same instant.
+        trapOwner = true;
+        co_await sim.delay(_params.faultTrap);
+        ++_stats.trapBatches;
+        events.send(std::move(ev));
+        drainMatured();
+        if (inTrap.empty())
+            trapOwner = false;
+        else
+            sim.spawn(dispatchTraps());
+    }
 
     // The faulting thread sleeps until the monitor wakes it.
     co_await done->wait();
     co_await sim.delay(_params.wakeTarget);
+}
+
+void
+UserFaultFd::drainMatured()
+{
+    while (!inTrap.empty() && inTrap.front().raisedAt <= sim.now())
+        events.send(inTrap.popFront());
+}
+
+sim::Task<void>
+UserFaultFd::dispatchTraps()
+{
+    while (!inTrap.empty()) {
+        Time due = inTrap.front().raisedAt;
+        if (due > sim.now())
+            co_await sim.delay(due - sim.now());
+        ++_stats.trapBatches;
+        drainMatured();
+    }
+    trapOwner = false;
 }
 
 void

@@ -74,6 +74,20 @@ struct UffdStats
     std::int64_t pagesRequested = 0;
     std::int64_t copyCalls = 0;
     std::int64_t pagesInstalled = 0;
+
+    /**
+     * Kernel events that delivered at least one fault to the monitor
+     * channel (a fault's own trap completion, or a burst-dispatcher
+     * wake). With batching, a burst of N same-instant faults costs one
+     * such event instead of N.
+     */
+    std::int64_t trapBatches = 0;
+
+    /**
+     * Faults that rode along on an already-scheduled trap event
+     * instead of scheduling their own (the batching win).
+     */
+    std::int64_t faultsCoalesced = 0;
 };
 
 /**
@@ -127,10 +141,33 @@ class UserFaultFd
     void resetStats() { _stats = UffdStats{}; }
 
   private:
+    /** Deliver every in-trap fault whose maturity instant has come. */
+    void drainMatured();
+
+    /**
+     * Detached coroutine that delivers in-trap faults raised while a
+     * leader fault owned the trap; one wake per distinct maturity
+     * instant, however many faults matured there.
+     */
+    sim::Task<void> dispatchTraps();
+
     sim::Simulation &sim;
     UffdParams _params;
     UffdStats _stats;
     sim::Channel<FaultEvent> events;
+
+    /**
+     * Faults past raise but before channel delivery, FIFO. raisedAt
+     * holds the maturity instant (raise time + faultTrap); the constant
+     * trap cost makes the queue monotone in maturity time.
+     */
+    sim::SmallRing<FaultEvent, 8> inTrap;
+
+    /**
+     * True while some scheduled kernel event (a leader fault's trap
+     * completion or the dispatcher) is committed to draining inTrap.
+     */
+    bool trapOwner = false;
 };
 
 } // namespace vhive::mem

@@ -1,0 +1,221 @@
+#include "sim/parallel.hh"
+
+namespace vhive::sim {
+
+ParallelKernel::ParallelKernel(int domains, int threads)
+    : _threads(threads)
+{
+    VHIVE_ASSERT(domains >= 1);
+    VHIVE_ASSERT(threads >= 1);
+    _domains.reserve(static_cast<std::size_t>(domains));
+    for (int i = 0; i < domains; ++i)
+        _domains.emplace_back(new Domain(i));
+}
+
+ParallelKernel::~ParallelKernel()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        _shutdown = true;
+    }
+    _cvStart.notify_all();
+    for (auto &t : _pool)
+        t.join();
+}
+
+std::int64_t
+ParallelKernel::totalEventsProcessed() const
+{
+    std::int64_t total = 0;
+    for (const auto &d : _domains)
+        total += d->_sim.eventsProcessed();
+    return total;
+}
+
+void
+ParallelKernel::collectOutboxes()
+{
+    // Domain-index order keeps heap insertion deterministic (the heap
+    // order itself is total on (deliverAt, srcDomain, srcSeq), so this
+    // is belt and braces).
+    for (auto &d : _domains) {
+        for (auto &m : d->outbox) {
+            _inflight.push_back(std::move(m));
+            std::push_heap(_inflight.begin(), _inflight.end(),
+                           LaterDelivery{});
+        }
+        d->outbox.clear();
+    }
+}
+
+void
+ParallelKernel::deliverDue(Time horizon)
+{
+    while (!_inflight.empty() &&
+           _inflight.front().deliverAt < horizon) {
+        std::pop_heap(_inflight.begin(), _inflight.end(),
+                      LaterDelivery{});
+        CrossMessage m = std::move(_inflight.back());
+        _inflight.pop_back();
+        m.deliver();
+        ++_stats.messages;
+    }
+}
+
+void
+ParallelKernel::runSolo(int d, Time other_bound)
+{
+    Domain &dom = *_domains[static_cast<std::size_t>(d)];
+    // Run past the window for as long as nothing can intervene. A
+    // pending message m bounds the stretch at:
+    //  - m.deliverAt when it targets this domain (it must not see
+    //    events past its own arrival), or
+    //  - m.deliverAt + lookahead otherwise: its target wakes at
+    //    m.deliverAt, and the earliest consequence that can reach
+    //    this domain is one port latency later.
+    // Another domain's own timer wakes bound us the same way
+    // (other_bound = min next event + lookahead, precomputed by the
+    // caller). Messages this domain emits mid-stretch interrupt
+    // runWindow via outboxGrew so the bound re-tightens around them.
+    for (;;) {
+        Time bound = other_bound;
+        for (const auto &m : _inflight)
+            bound = std::min(bound, m.dstDomain == d
+                                        ? m.deliverAt
+                                        : satAdd(m.deliverAt,
+                                                 _lookahead));
+        for (const auto &m : dom.outbox)
+            bound = std::min(bound, satAdd(m.deliverAt, _lookahead));
+        if (!dom._sim.hasPending() ||
+            dom._sim.nextPendingWhen() >= bound)
+            break;
+        dom.outboxGrew = false;
+        dom._sim.runWindow(bound, dom.outboxGrew);
+    }
+    dom.outboxGrew = false;
+    ++_stats.soloWindows;
+}
+
+void
+ParallelKernel::runWindowParallel(Time window_end)
+{
+    if (_pool.empty() && _threads > 1) {
+        _pool.reserve(static_cast<std::size_t>(_threads - 1));
+        for (int i = 0; i < _threads - 1; ++i)
+            _pool.emplace_back([this] { workerLoop(); });
+    }
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        _windowEnd = window_end;
+        _workCount = _work.size();
+        _nextWork.store(0, std::memory_order_relaxed);
+        _pendingTasks = static_cast<int>(_work.size());
+        ++_epoch;
+    }
+    _cvStart.notify_all();
+
+    // The coordinator is a full participant in the window.
+    int done = 0;
+    for (;;) {
+        std::size_t i = _nextWork.fetch_add(1, std::memory_order_relaxed);
+        if (i >= _workCount)
+            break;
+        _domains[static_cast<std::size_t>(_work[i])]->_sim.runWindow(
+            window_end);
+        ++done;
+    }
+
+    std::unique_lock<std::mutex> lk(_mtx);
+    _pendingTasks -= done;
+    _cvDone.wait(lk, [this] { return _pendingTasks == 0; });
+    ++_stats.multiDomainWindows;
+}
+
+void
+ParallelKernel::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(_mtx);
+    for (;;) {
+        _cvStart.wait(lk,
+                      [&] { return _shutdown || _epoch != seen; });
+        if (_shutdown)
+            return;
+        seen = _epoch;
+        Time window_end = _windowEnd;
+        std::size_t work_count = _workCount;
+        lk.unlock();
+
+        int done = 0;
+        for (;;) {
+            std::size_t i =
+                _nextWork.fetch_add(1, std::memory_order_relaxed);
+            if (i >= work_count)
+                break;
+            _domains[static_cast<std::size_t>(_work[i])]
+                ->_sim.runWindow(window_end);
+            ++done;
+        }
+
+        lk.lock();
+        _pendingTasks -= done;
+        if (_pendingTasks == 0)
+            _cvDone.notify_one();
+    }
+}
+
+void
+ParallelKernel::run()
+{
+    for (;;) {
+        collectOutboxes();
+
+        // Global horizon: the earliest thing that can happen anywhere.
+        Time horizon = nextDeliveryAt();
+        for (auto &d : _domains)
+            if (d->_sim.hasPending())
+                horizon = std::min(horizon, d->_sim.nextPendingWhen());
+        if (horizon == kNeverTime)
+            return; // globally quiescent
+
+        Time window_end = satAdd(horizon, _lookahead);
+
+        // Messages maturing inside the window arrive before any domain
+        // runs; deliveries are (deliverAt, srcDomain, srcSeq)-sorted.
+        deliverDue(window_end);
+
+        _work.clear();
+        for (auto &d : _domains)
+            if (d->_sim.hasPending() &&
+                d->_sim.nextPendingWhen() < window_end)
+                _work.push_back(d->id());
+        ++_stats.windows;
+
+        if (_work.empty()) {
+            // Deliveries parked values without waking anyone; the next
+            // iteration recomputes the horizon further out. Progress
+            // is guaranteed because deliverDue consumed messages.
+            continue;
+        }
+        if (_work.size() == 1) {
+            // The earliest instant any *other* domain could wake and
+            // emit a message bounds how far the lone runnable domain
+            // may race ahead.
+            Time others = kNeverTime;
+            for (auto &d : _domains)
+                if (d->id() != _work[0] && d->_sim.hasPending())
+                    others =
+                        std::min(others, d->_sim.nextPendingWhen());
+            runSolo(_work[0], satAdd(others, _lookahead));
+        } else if (_threads == 1) {
+            for (int d : _work)
+                _domains[static_cast<std::size_t>(d)]->_sim.runWindow(
+                    window_end);
+            ++_stats.multiDomainWindows;
+        } else {
+            runWindowParallel(window_end);
+        }
+    }
+}
+
+} // namespace vhive::sim

@@ -120,4 +120,22 @@ Simulation::runUntil(Time until)
     _now = until;
 }
 
+void
+Simulation::runWindow(Time limit)
+{
+    while (!queue.empty() && queue.nextWhen() < limit) {
+        Event ev = queue.pop();
+        step(ev);
+    }
+}
+
+void
+Simulation::runWindow(Time limit, const bool &stop)
+{
+    while (!stop && !queue.empty() && queue.nextWhen() < limit) {
+        Event ev = queue.pop();
+        step(ev);
+    }
+}
+
 } // namespace vhive::sim

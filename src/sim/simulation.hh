@@ -9,7 +9,8 @@
  *
  * Hot-path design (see event_queue.hh and frame_pool.hh for the two
  * main pieces): same-timestamp wakeups go through an O(1) FIFO ring,
- * future events through a binary (when, seq) min-heap; coroutine
+ * future events through a timing-wheel hierarchy (near heap, 4096-slot
+ * wheel, far heap) that pops in exact (when, seq) order; coroutine
  * frames come from slab-backed free lists; and detached tasks sit on
  * an intrusive list threaded through their promises, so
  * spawn/complete never hashes or allocates registry nodes.
@@ -110,6 +111,30 @@ class Simulation
      */
     void runUntil(Time until);
 
+    /**
+     * Run events with timestamp strictly before @p limit, leaving the
+     * clock at the last processed event. Unlike runUntil() the clock
+     * is not forced forward, so a later window (or another domain's
+     * message delivery at exactly @p limit) still lands in the future.
+     * This is the per-domain primitive of the parallel kernel
+     * (sim/parallel.hh).
+     */
+    void runWindow(Time limit);
+
+    /**
+     * runWindow variant that additionally stops as soon as @p stop
+     * reads true (checked between events). The parallel kernel's solo
+     * fast path uses it to re-tighten its bound when the running
+     * domain emits a cross-domain message.
+     */
+    void runWindow(Time limit, const bool &stop);
+
+    /** True when any event is pending. */
+    bool hasPending() const { return !queue.empty(); }
+
+    /** Timestamp of the earliest pending event; requires hasPending(). */
+    Time nextPendingWhen() const { return queue.nextWhen(); }
+
     /** Number of events processed so far (for tests/diagnostics). */
     std::int64_t eventsProcessed() const { return _eventsProcessed; }
 
@@ -125,7 +150,7 @@ class Simulation
   private:
     void step(const Event &ev);
 
-    EventQueue queue;
+    KernelQueue queue;
     detail::PromiseBase *detachedHead = nullptr;
     Time _now = 0;
     std::uint64_t nextSeq = 0;

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the parallel DES kernel (sim/parallel.hh) and the
+ * multi-core fleet harness (cluster/parallel_fleet.hh): cross-port
+ * latency/ordering semantics, and — the headline contract — bit
+ * identity of simulated results across 1/2/4/8 sim threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/parallel_fleet.hh"
+#include "sim/parallel.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "util/units.hh"
+
+namespace vhive::sim {
+namespace {
+
+using EventLog = std::vector<std::tuple<int, Time, int>>;
+
+Task<void>
+pingSender(Simulation &sim, CrossPort<int> &out, int count,
+           Duration gap)
+{
+    for (int i = 0; i < count; ++i) {
+        co_await sim.delay(gap);
+        out.send(i);
+    }
+}
+
+Task<void>
+pingReceiver(Simulation &sim, CrossPort<int> &in, int count,
+             EventLog &log, int domain)
+{
+    for (int i = 0; i < count; ++i) {
+        int v = co_await in.recv();
+        log.emplace_back(domain, sim.now(), v);
+    }
+}
+
+TEST(CrossPort, DeliversAfterLatencyInOrder)
+{
+    ParallelKernel k(2, 1);
+    CrossPort<int> port(k, k.domain(0), k.domain(1), usec(500));
+    EventLog log;
+    k.sim(0).spawn(pingSender(k.sim(0), port, 3, msec(1)));
+    k.sim(1).spawn(pingReceiver(k.sim(1), port, 3, log, 1));
+    k.run();
+
+    ASSERT_EQ(log.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(std::get<2>(log[static_cast<size_t>(i)]), i);
+        // Sent at (i+1) ms, delivered one port latency later.
+        EXPECT_EQ(std::get<1>(log[static_cast<size_t>(i)]),
+                  msec(i + 1) + usec(500));
+    }
+}
+
+TEST(CrossPort, EarlyReceiverParksUntilDeliveryInstant)
+{
+    ParallelKernel k(2, 1);
+    CrossPort<int> port(k, k.domain(0), k.domain(1), msec(2));
+    EventLog log;
+    // Receiver is waiting long before the sender fires.
+    k.sim(1).spawn(pingReceiver(k.sim(1), port, 1, log, 1));
+    k.sim(0).spawn(pingSender(k.sim(0), port, 1, msec(5)));
+    k.run();
+
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(std::get<1>(log[0]), msec(7)); // send at 5ms + 2ms hop
+}
+
+/**
+ * A ring of domains passing an incrementing token: every hop crosses
+ * a domain boundary, so window synchronization is exercised heavily.
+ */
+Task<void>
+ringNode(Simulation &sim, CrossPort<int> &in, CrossPort<int> &out,
+         int hops, EventLog &log, int domain)
+{
+    while (true) {
+        int v = co_await in.recv();
+        log.emplace_back(domain, sim.now(), v);
+        if (v >= hops)
+            co_return;
+        co_await sim.delay(usec(50 + 13 * (v % 7)));
+        out.send(v + 1);
+    }
+}
+
+EventLog
+runTokenRing(int domains, int threads, int hops)
+{
+    ParallelKernel k(domains, threads);
+    std::vector<std::unique_ptr<CrossPort<int>>> ports;
+    for (int d = 0; d < domains; ++d) {
+        ports.push_back(std::make_unique<CrossPort<int>>(
+            k, k.domain(d), k.domain((d + 1) % domains), usec(200)));
+    }
+    EventLog log;
+    for (int d = 0; d < domains; ++d) {
+        int prev = (d + domains - 1) % domains;
+        k.sim(d).spawn(ringNode(k.sim(d), *ports[static_cast<size_t>(prev)],
+                                *ports[static_cast<size_t>(d)], hops,
+                                log, d));
+    }
+    // Kick the token into domain 0 (pre-run send from the last
+    // domain's port, at time 0).
+    ports.back()->send(0);
+    k.run();
+    return log;
+}
+
+TEST(ParallelKernel, TokenRingIsIdenticalAcrossThreadCounts)
+{
+    // NOTE: the log is appended by different domains; with >1 thread
+    // appends could race, so the ring is serial by construction (one
+    // token). That makes the log a total order and keeps the test
+    // race-free under TSan.
+    EventLog ref = runTokenRing(4, 1, 64);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(std::get<2>(ref.back()), 64);
+    for (int threads : {2, 4, 8}) {
+        EventLog log = runTokenRing(4, threads, 64);
+        EXPECT_EQ(log, ref) << "threads=" << threads;
+    }
+}
+
+/**
+ * Many independent workers with private timers plus cross-traffic to
+ * a hub domain; checks total event counts and the hub's observed
+ * message order are thread-count independent.
+ */
+Task<void>
+chatterWorker(Simulation &sim, CrossPort<int> &out, int id, int msgs)
+{
+    for (int i = 0; i < msgs; ++i) {
+        // Do some purely local work (events that should run in
+        // parallel windows).
+        for (int j = 0; j < 5; ++j)
+            co_await sim.delay(usec(30 + ((id * 7 + i * 3 + j) % 11)));
+        out.send(id * 1000 + i);
+    }
+}
+
+Task<void>
+chatterHub(Simulation &sim,
+           std::vector<std::unique_ptr<CrossPort<int>>> &in, int total,
+           EventLog &log)
+{
+    // Round-robin over per-worker ports: hub consumes exactly the
+    // number of messages each worker will send.
+    int per = total / static_cast<int>(in.size());
+    for (int i = 0; i < per; ++i) {
+        for (auto &port : in) {
+            int v = co_await port->recv();
+            log.emplace_back(0, sim.now(), v);
+        }
+    }
+}
+
+std::pair<EventLog, std::int64_t>
+runChatter(int workers, int threads, int msgs)
+{
+    ParallelKernel k(workers + 1, threads);
+    std::vector<std::unique_ptr<CrossPort<int>>> ports;
+    for (int w = 0; w < workers; ++w)
+        ports.push_back(std::make_unique<CrossPort<int>>(
+            k, k.domain(w + 1), k.domain(0), usec(500)));
+    EventLog log;
+    for (int w = 0; w < workers; ++w)
+        k.sim(w + 1).spawn(
+            chatterWorker(k.sim(w + 1), *ports[static_cast<size_t>(w)],
+                          w, msgs));
+    k.sim(0).spawn(chatterHub(k.sim(0), ports, workers * msgs, log));
+    k.run();
+    return {std::move(log), k.totalEventsProcessed()};
+}
+
+TEST(ParallelKernel, ChatterIsIdenticalAcrossThreadCounts)
+{
+    auto [ref_log, ref_events] = runChatter(6, 1, 20);
+    ASSERT_EQ(ref_log.size(), 6u * 20u);
+    for (int threads : {2, 4, 8}) {
+        auto [log, events] = runChatter(6, threads, 20);
+        EXPECT_EQ(log, ref_log) << "threads=" << threads;
+        EXPECT_EQ(events, ref_events) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelKernel, SoloFastPathCoversSingleActiveDomain)
+{
+    // One domain does heavy local work; the other is quiet until a
+    // late message arrives. The kernel should take the solo fast path
+    // for most of the run (covered by stats), and the late delivery
+    // must still land exactly on time.
+    ParallelKernel k(2, 1);
+    CrossPort<int> port(k, k.domain(0), k.domain(1), usec(500));
+    EventLog log;
+    k.sim(0).spawn(pingSender(k.sim(0), port, 1, msec(50)));
+    k.sim(1).spawn(pingReceiver(k.sim(1), port, 1, log, 1));
+    k.run();
+
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(std::get<1>(log[0]), msec(50) + usec(500));
+    EXPECT_GT(k.stats().soloWindows, 0);
+}
+
+} // namespace
+} // namespace vhive::sim
+
+namespace vhive::cluster {
+namespace {
+
+ParallelFleetResult
+runFleetScenario(int workers, int threads)
+{
+    ParallelFleetConfig cfg;
+    cfg.workers = workers;
+    cfg.simThreads = threads;
+    cfg.coldStartMode = core::ColdStartMode::Reap;
+    cfg.keepAlive = sec(30);
+    cfg.routingPolicy = RoutingPolicyKind::LocalityHash;
+    cfg.workload.functions = 6;
+    cfg.workload.minInterarrival = sec(2);
+    cfg.workload.maxInterarrival = sec(60);
+    cfg.workload.horizon = sec(120);
+    ParallelFleet fleet(cfg);
+    return fleet.run();
+}
+
+TEST(ParallelFleet, RunsTheAzureMix)
+{
+    ParallelFleetResult r = runFleetScenario(2, 1);
+    EXPECT_GT(r.invocations, 0);
+    EXPECT_GT(r.coldStarts, 0);
+    EXPECT_EQ(r.invocations, r.coldStarts + r.warmHits);
+    EXPECT_EQ(r.e2eLatencyMs.count(), r.invocations);
+    EXPECT_GT(r.eventsProcessed, 0);
+    EXPECT_GT(r.windows, 0);
+    EXPECT_GT(r.messages, 0);
+    // Every invocation pays two fabric hops plus real worker time.
+    EXPECT_GE(r.e2eLatencyMs.percentile(0), 1.0);
+}
+
+TEST(ParallelFleet, BitIdenticalAcrossThreadCounts)
+{
+    ParallelFleetResult ref = runFleetScenario(3, 1);
+    std::uint64_t ref_digest = ref.digest();
+    ASSERT_GT(ref.invocations, 0);
+    for (int threads : {2, 4, 8}) {
+        ParallelFleetResult r = runFleetScenario(3, threads);
+        EXPECT_EQ(r.digest(), ref_digest) << "threads=" << threads;
+        EXPECT_EQ(r.invocations, ref.invocations);
+        EXPECT_EQ(r.coldStarts, ref.coldStarts);
+        EXPECT_EQ(r.warmHits, ref.warmHits);
+        EXPECT_EQ(r.scaleDowns, ref.scaleDowns);
+        EXPECT_EQ(r.eventsProcessed, ref.eventsProcessed);
+        EXPECT_EQ(r.windows, ref.windows);
+        EXPECT_EQ(r.messages, ref.messages);
+        EXPECT_EQ(r.e2eLatencyMs.values(), ref.e2eLatencyMs.values());
+        EXPECT_EQ(r.coldE2eMs.values(), ref.coldE2eMs.values());
+    }
+}
+
+TEST(ParallelFleet, PoliciesRouteAcrossWorkers)
+{
+    // Sanity: with several workers and warm-first routing, cold
+    // starts land on more than one worker (round-robin spreads).
+    ParallelFleetConfig cfg;
+    cfg.workers = 4;
+    cfg.simThreads = 2;
+    cfg.routingPolicy = RoutingPolicyKind::WarmFirst;
+    cfg.workload.functions = 8;
+    cfg.workload.minInterarrival = sec(2);
+    cfg.workload.maxInterarrival = sec(30);
+    cfg.workload.horizon = sec(60);
+    ParallelFleet fleet(cfg);
+    ParallelFleetResult r = fleet.run();
+    EXPECT_GT(r.invocations, 0);
+    EXPECT_GT(r.coldStarts, 1);
+}
+
+} // namespace
+} // namespace vhive::cluster

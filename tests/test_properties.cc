@@ -15,6 +15,9 @@
  *  P8  The WS-file/trace-file pair round-trips through the codec.
  *  P9  The DES kernel drains random schedule() interleavings in exact
  *      (when, seq) FIFO order through the two-level event queue.
+ *  P10 The timing-wheel queue (now-ring / near heap / wheel / far
+ *      heap) pops in exactly the order a flat reference heap does,
+ *      for random schedules spanning every level's time range.
  */
 
 #include <gtest/gtest.h>
@@ -397,6 +400,75 @@ TEST_P(KernelQueue, RunUntilHonorsWhenSeqOrderAcrossResumes)
         sim.runUntil(cut);
     sim.run();
     EXPECT_EQ(log, expected);
+}
+
+TEST_P(KernelQueue, WheelMatchesReferenceHeapUnderRandomSchedules)
+{
+    // P10: drive sim::KernelQueue directly (null handles; pop never
+    // resumes) against a flat (when, seq) min-heap. Deltas are drawn
+    // from every level's range — 0 (now-ring), within the near granule
+    // (16.4 us), across the wheel span (~67 ms, including exact slot
+    // multiples), and beyond it (far heap) — interleaved with drains
+    // that advance the clock and force refills/re-anchors.
+    Rng rng(GetParam() ^ 0x3e17ull);
+    sim::KernelQueue q;
+    using Ref = std::pair<Time, std::uint64_t>;
+    std::vector<Ref> ref;
+    auto later = [](const Ref &a, const Ref &b) { return a > b; };
+
+    Time now = 0;
+    std::uint64_t seq = 0;
+    auto pushOne = [&](Duration d) {
+        q.push(now + d, seq, {}, now);
+        ref.emplace_back(now + d, seq);
+        std::push_heap(ref.begin(), ref.end(), later);
+        ++seq;
+    };
+    auto popOne = [&] {
+        ASSERT_EQ(q.nextWhen(), ref.front().first);
+        sim::Event ev = q.pop();
+        std::pop_heap(ref.begin(), ref.end(), later);
+        Ref want = ref.back();
+        ref.pop_back();
+        ASSERT_EQ(ev.when, want.first);
+        ASSERT_EQ(ev.seq, want.second);
+        ASSERT_GE(ev.when, now);
+        now = ev.when;
+    };
+
+    for (int round = 0; round < 1500; ++round) {
+        std::int64_t burst = rng.uniformInt(1, 8);
+        for (std::int64_t i = 0; i < burst; ++i) {
+            Duration d = 0;
+            switch (rng.uniformInt(0, 4)) {
+            case 0:
+                break; // now-ring
+            case 1:
+                d = rng.uniformInt(1, usec(16)); // near heap
+                break;
+            case 2:
+                d = rng.uniformInt(1, msec(60)); // wheel slots
+                break;
+            case 3:
+                d = rng.uniformInt(1, sec(5)); // far heap
+                break;
+            default:
+                // Exact granule multiples probe slot boundaries.
+                d = rng.uniformInt(0, 100) * Duration{1 << 14};
+                break;
+            }
+            pushOne(d);
+        }
+        std::int64_t drains = rng.uniformInt(0, 10);
+        while (drains-- > 0 && !q.empty())
+            popOne();
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    while (!q.empty())
+        popOne();
+    EXPECT_TRUE(ref.empty());
+    EXPECT_EQ(q.size(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelQueue,
