@@ -91,7 +91,7 @@ struct ParallelFleetResult
     std::int64_t warmHits = 0;
     std::int64_t scaleDowns = 0;
 
-    Samples e2eLatencyMs;  ///< all invocations, arrival order
+    Samples e2eLatencyMs;  ///< all invocations, completion (Done-reply) order
     Samples coldE2eMs;     ///< cold-start invocations
     Samples warmE2eMs;     ///< warm invocations
 

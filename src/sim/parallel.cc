@@ -96,6 +96,24 @@ ParallelKernel::runSolo(int d, Time other_bound)
     ++_stats.soloWindows;
 }
 
+std::optional<std::size_t>
+ParallelKernel::claimWork(std::uint64_t epoch, std::size_t work_count)
+{
+    const std::uint64_t tag = epoch & 0xffffffffu;
+    std::uint64_t cur = _claim.load(std::memory_order_acquire);
+    for (;;) {
+        if ((cur >> 32) != tag)
+            return std::nullopt; // kernel moved to another window
+        std::size_t i = static_cast<std::size_t>(cur & 0xffffffffu);
+        if (i >= work_count)
+            return std::nullopt; // window's work list exhausted
+        if (_claim.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+            return i;
+    }
+}
+
 void
 ParallelKernel::runWindowParallel(Time window_end)
 {
@@ -104,23 +122,23 @@ ParallelKernel::runWindowParallel(Time window_end)
         for (int i = 0; i < _threads - 1; ++i)
             _pool.emplace_back([this] { workerLoop(); });
     }
+    std::uint64_t epoch;
     {
         std::lock_guard<std::mutex> lk(_mtx);
         _windowEnd = window_end;
         _workCount = _work.size();
-        _nextWork.store(0, std::memory_order_relaxed);
+        VHIVE_ASSERT(_workCount <= 0xffffffffu);
         _pendingTasks = static_cast<int>(_work.size());
-        ++_epoch;
+        epoch = ++_epoch;
+        _claim.store((epoch & 0xffffffffu) << 32,
+                     std::memory_order_release);
     }
     _cvStart.notify_all();
 
     // The coordinator is a full participant in the window.
     int done = 0;
-    for (;;) {
-        std::size_t i = _nextWork.fetch_add(1, std::memory_order_relaxed);
-        if (i >= _workCount)
-            break;
-        _domains[static_cast<std::size_t>(_work[i])]->_sim.runWindow(
+    while (auto i = claimWork(epoch, _workCount)) {
+        _domains[static_cast<std::size_t>(_work[*i])]->_sim.runWindow(
             window_end);
         ++done;
     }
@@ -146,13 +164,13 @@ ParallelKernel::workerLoop()
         std::size_t work_count = _workCount;
         lk.unlock();
 
+        // claimWork validates `seen` against the claim word, so if
+        // this thread stalls here until the coordinator has opened a
+        // newer window, every claim fails and the loop falls through
+        // without touching the rewritten work list.
         int done = 0;
-        for (;;) {
-            std::size_t i =
-                _nextWork.fetch_add(1, std::memory_order_relaxed);
-            if (i >= work_count)
-                break;
-            _domains[static_cast<std::size_t>(_work[i])]
+        while (auto i = claimWork(seen, work_count)) {
+            _domains[static_cast<std::size_t>(_work[*i])]
                 ->_sim.runWindow(window_end);
             ++done;
         }

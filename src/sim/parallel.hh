@@ -46,9 +46,14 @@
  * Threading
  * ---------
  * The pool is engaged per window with a work-stealing index over the
- * runnable-domain list; domain state hand-off between a window's
- * worker thread and the coordinator is ordered by the pool mutex, so
- * the kernel is ThreadSanitizer-clean. Each domain's coroutine frames
+ * runnable-domain list. The index lives in a packed claim word
+ * (epoch | next index) and every claim validates the epoch in the
+ * same CAS that advances the index, so a worker still holding state
+ * cached from an earlier window can never claim — or even read — the
+ * current window's work list. Domain state hand-off between a
+ * window's worker thread and the coordinator is ordered by the pool
+ * mutex, so the kernel is ThreadSanitizer-clean. Each domain's
+ * coroutine frames
  * come from the running thread's FramePool arena; frames may be freed
  * on a different thread's arena than they were allocated from, which
  * FramePool supports by design.
@@ -215,6 +220,16 @@ class ParallelKernel
 
     void workerLoop();
 
+    /**
+     * Claim the next _work index for window @p epoch, or nothing when
+     * the list is exhausted or the kernel has moved on to a different
+     * window. Epoch validation and index advance happen in one CAS,
+     * so a claimant holding stale window state can neither consume
+     * nor skip an index of the current window.
+     */
+    std::optional<std::size_t> claimWork(std::uint64_t epoch,
+                                         std::size_t work_count);
+
     static Time
     satAdd(Time t, Duration d)
     {
@@ -253,7 +268,18 @@ class ParallelKernel
     std::condition_variable _cvDone;
     std::vector<int> _work;
     std::size_t _workCount = 0;
-    std::atomic<std::size_t> _nextWork{0};
+
+    /**
+     * Packed claim word: window epoch (mod 2^32) in the upper 32
+     * bits, next _work index in the lower 32. Guards against a worker
+     * preempted between waking for window N and its first claim: by
+     * the time it resumes in window N+1 the stored epoch has changed,
+     * so its claims fail instead of reading the rewritten _work with
+     * window N's count and window end. (Aliasing a wrapped epoch
+     * would require sleeping through 2^32 full windows, each a locked
+     * hand-off.)
+     */
+    std::atomic<std::uint64_t> _claim{0};
     int _pendingTasks = 0;
     Time _windowEnd = 0;
     std::uint64_t _epoch = 0;
