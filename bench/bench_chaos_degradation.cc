@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Graceful-degradation sweep: the 4-worker TieredReap shared-snapshot
+ * fleet under the Azure production mix (ML-inference / media / ETL
+ * class functions), driven fault-free and under two injected fault
+ * intensities:
+ *
+ *   none    — no fault plan installed (the baseline; bit-identical to
+ *             builds without the fault layer),
+ *   mild    — occasional store stragglers plus a latency storm window
+ *             (tail-latency pressure, nothing fails),
+ *   severe  — stragglers, per-request error retries, a hard ten-second
+ *             store outage, and worker crashes mid-cold-start (the
+ *             cluster retries; some invocations fail after retries).
+ *
+ * Reported per cell: invocations, cold fraction, cold/e2e p50/p99,
+ * failed invocations, and the fault-event counters, so the table reads
+ * as "what does each fault class cost end to end". The headline
+ * degradation numbers quoted in the README/ROADMAP come from this
+ * table. `VHIVE_BENCH_JSON=BENCH_chaos.json` exports rows; the CI
+ * perf-smoke job gates the severe cell's events/sec against
+ * ci/perf_floor.json (the chaos path must not wreck kernel
+ * throughput).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hh"
+#include "cluster/azure_workload.hh"
+#include "cluster/cluster.hh"
+#include "core/options.hh"
+#include "sim/fault.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace vhive;
+
+namespace {
+
+enum class Intensity { None, Mild, Severe };
+
+const char *
+intensityName(Intensity lvl)
+{
+    switch (lvl) {
+      case Intensity::None:
+        return "none";
+      case Intensity::Mild:
+        return "mild";
+      case Intensity::Severe:
+        return "severe";
+    }
+    return "?";
+}
+
+/**
+ * Build the fault plan for one intensity. Windows are relative to
+ * @p base (simulated time after staging finished) so they cover the
+ * measured workload window, not the staging prologue.
+ */
+void
+arm(sim::FaultPlan &plan, Intensity lvl, Time base, Duration horizon)
+{
+    auto add = [&](sim::FaultKind kind, const char *target, Time start,
+                   Time end, double magnitude, double probability) {
+        sim::FaultSpec s;
+        s.kind = kind;
+        s.target = target;
+        s.windows.push_back(
+            sim::FaultWindow{start, end, magnitude, probability});
+        plan.add(s);
+    };
+    Time end = base + horizon;
+    switch (lvl) {
+      case Intensity::None:
+        break;
+      case Intensity::Mild:
+        add(sim::FaultKind::Straggler, "store/shared", base, end, 8.0,
+            0.05);
+        // A storm covering the middle third of the window.
+        add(sim::FaultKind::LatencyStorm, "store/shared",
+            base + horizon / 3, base + 2 * (horizon / 3), 2.0, 1.0);
+        break;
+      case Intensity::Severe:
+        add(sim::FaultKind::Straggler, "store/shared", base, end, 20.0,
+            0.15);
+        add(sim::FaultKind::RequestError, "store/shared", base, end,
+            1.0, 0.2);
+        // A hard ten-second outage one minute in, hitting every store
+        // (the shared artifact store and the workers' input stores).
+        add(sim::FaultKind::StoreOutage, "store/*", base + sec(60),
+            base + sec(70), 1.0, 1.0);
+        // Worker crashes mid-cold-start, ~200 ms of work lost each.
+        add(sim::FaultKind::WorkerCrash, "*", base, end, 200.0, 0.05);
+        break;
+    }
+}
+
+struct CellResult
+{
+    cluster::AzureWorkloadResult workload;
+    cluster::FleetStats fleet;
+    sim::FaultStats faults;
+    double wall_s = 0;
+    double events_per_sec = 0;
+};
+
+CellResult
+runCell(Intensity lvl)
+{
+    sim::Simulation sim;
+    cluster::ClusterConfig cfg;
+    cfg.workers = 4;
+    cfg.coldStartMode = core::ColdStartMode::TieredReap;
+    cfg.sharedSnapshots = true;
+    cfg.keepAlive = sec(60);
+    cluster::Cluster c(sim, cfg);
+
+    cluster::AzureWorkloadConfig wcfg;
+    wcfg.functions = 12;
+    wcfg.minInterarrival = sec(5);
+    wcfg.maxInterarrival = sec(240);
+    wcfg.horizon = sec(900);
+    wcfg.classMix = {func::FunctionClass::MlInference,
+                     func::FunctionClass::Media,
+                     func::FunctionClass::Etl};
+
+    cluster::AzureWorkload workload(sim, c, wcfg);
+    sim::FaultPlan plan(0xc4a05);
+    CellResult r;
+    auto host0 = std::chrono::steady_clock::now();
+    bench::runScenario(sim, [&]() -> sim::Task<void> {
+        co_await c.prepareAllSnapshots();
+        if (lvl != Intensity::None) {
+            arm(plan, lvl, sim.now(), wcfg.horizon);
+            c.installFaultPlan(&plan);
+        }
+        r.workload = co_await workload.run();
+        c.installFaultPlan(nullptr);
+    });
+    auto host1 = std::chrono::steady_clock::now();
+    r.fleet = c.fleetStats();
+    r.faults = plan.stats();
+    r.wall_s = std::chrono::duration<double>(host1 - host0).count();
+    r.events_per_sec =
+        r.wall_s > 0
+            ? static_cast<double>(sim.eventsProcessed()) / r.wall_s
+            : 0;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Chaos degradation: 4-worker tiered-shared fleet, "
+                  "class mix (ml/media/etl), fault intensity sweep");
+
+    bench::JsonWriter json("chaos_degradation");
+    Table t({"faults", "inv", "failed", "cold%", "cold_p50", "cold_p99",
+             "e2e_p99", "stragglers", "retries", "crashes", "stalls",
+             "wall_s", "Mev/s"});
+
+    double base_cold_p99 = 0;
+    for (Intensity lvl :
+         {Intensity::None, Intensity::Mild, Intensity::Severe}) {
+        CellResult r = runCell(lvl);
+        const auto &fs = r.fleet;
+        if (lvl == Intensity::None)
+            base_cold_p99 = fs.coldP99();
+        std::string cell =
+            std::string("workers=4/faults=") + intensityName(lvl);
+        t.row()
+            .cell(intensityName(lvl))
+            .cell(r.workload.invocations)
+            .cell(r.workload.failedInvocations)
+            .cell(100.0 * r.workload.coldFraction(), 1)
+            .cell(fs.coldP50(), 1)
+            .cell(fs.coldP99(), 1)
+            .cell(r.workload.e2eLatencyMs.percentile(99), 1)
+            .cell(r.faults.stragglers)
+            .cell(r.faults.requestErrors)
+            .cell(r.faults.workerCrashes)
+            .cell(r.faults.outageStalls)
+            .cell(r.wall_s, 2)
+            .cell(r.events_per_sec / 1e6, 1);
+        json.row(cell, "cold_p50_ms", fs.coldP50());
+        json.row(cell, "cold_p99_ms", fs.coldP99());
+        json.row(cell, "e2e_p99_ms",
+                 r.workload.e2eLatencyMs.percentile(99));
+        json.row(cell, "invocations",
+                 static_cast<double>(r.workload.invocations));
+        json.row(cell, "failed_invocations",
+                 static_cast<double>(r.workload.failedInvocations));
+        json.row(cell, "worker_crashes",
+                 static_cast<double>(r.faults.workerCrashes));
+        json.row(cell, "wall_s", r.wall_s, r.events_per_sec);
+    }
+    t.print();
+
+    if (base_cold_p99 > 0)
+        std::printf("\n(cold p99 degradation is quoted relative to "
+                    "the fault-free %.1f ms baseline)\n",
+                    base_cold_p99);
+    return 0;
+}

@@ -11,7 +11,7 @@ std::vector<AzureMixEntry>
 synthesizeAzureMix(const AzureWorkloadConfig &cfg)
 {
     VHIVE_ASSERT(cfg.functions >= 1);
-    VHIVE_ASSERT(!cfg.profilePool.empty());
+    VHIVE_ASSERT(!cfg.profilePool.empty() || !cfg.classMix.empty());
     VHIVE_ASSERT(cfg.minInterarrival > 0 &&
                  cfg.maxInterarrival >= cfg.minInterarrival);
 
@@ -24,10 +24,20 @@ synthesizeAzureMix(const AzureWorkloadConfig &cfg)
     std::vector<AzureMixEntry> mix;
     mix.reserve(static_cast<size_t>(cfg.functions));
     for (int i = 0; i < cfg.functions; ++i) {
-        int pool_idx = cfg.profilePool[static_cast<size_t>(i) %
-                                       cfg.profilePool.size()];
-        func::FunctionProfile p =
-            pool[static_cast<size_t>(pool_idx)];
+        func::FunctionProfile p;
+        if (!cfg.classMix.empty()) {
+            // Class-generated mix: the profile comes from its own
+            // named sub-stream, so the "azure-workload" stream below
+            // sees exactly the draws it always did.
+            func::FunctionClass cls =
+                cfg.classMix[static_cast<size_t>(i) %
+                             cfg.classMix.size()];
+            p = func::makeClassProfile(cls, cfg.seed, i);
+        } else {
+            int pool_idx = cfg.profilePool[static_cast<size_t>(i) %
+                                           cfg.profilePool.size()];
+            p = pool[static_cast<size_t>(pool_idx)];
+        }
         p.name = "az_" + std::to_string(i) + "_" + p.name;
 
         // Log-uniform inter-arrival: most functions end up sporadic,
@@ -129,6 +139,7 @@ AzureWorkload::run()
         const auto &st = cluster.stats(n);
         result.coldStarts += st.coldStarts;
         result.warmHits += st.warmHits;
+        result.failedInvocations += st.failedInvocations;
     }
     result.avgResidentMb =
         sampledFor > 0 ? memIntegralMbSec /

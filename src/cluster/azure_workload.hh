@@ -61,6 +61,17 @@ struct AzureWorkloadConfig
      * mix resembles the short-running production population.
      */
     std::vector<int> profilePool = {0, 1, 2, 3, 4, 5, 7};
+
+    /**
+     * When non-empty, profiles are generated from these function
+     * classes instead of profilePool: function i is drawn by
+     * func::makeClassProfile(classMix[i % size], seed, i), cycling
+     * the list. Inter-arrival synthesis is unchanged (one uniform per
+     * function from the same "azure-workload" stream), so switching a
+     * mix between pool and classes perturbs nothing else. Empty
+     * (default) keeps the historical pool-based mix bit-identical.
+     */
+    std::vector<func::FunctionClass> classMix;
 };
 
 /** One synthesized function of the Azure mix. */
@@ -87,6 +98,11 @@ struct AzureWorkloadResult
     Samples e2eLatencyMs;     ///< all invocations
     std::int64_t coldStarts = 0;
     std::int64_t warmHits = 0;
+
+    /** Invocations reported failed after crash retries (fault runs
+     * only). Invariant: coldStarts + warmHits + failedInvocations ==
+     * invocations. */
+    std::int64_t failedInvocations = 0;
     double avgResidentMb = 0;  ///< time-averaged fleet memory
     double memoryGbMin = 0;    ///< integral of resident memory
     std::int64_t invocations = 0;

@@ -76,6 +76,21 @@ Cluster::setRoutingPolicy(RoutingPolicyKind kind)
 }
 
 void
+Cluster::installFaultPlan(sim::FaultPlan *plan)
+{
+    if (_sharedStore)
+        _sharedStore->setFaultPlan(plan, "store/shared");
+    for (size_t i = 0; i < workers.size(); ++i) {
+        std::string idx = std::to_string(i);
+        workers[i]->objectStore().setFaultPlan(plan,
+                                               "store/worker/" + idx);
+        workers[i]->orchestrator().setFaultPlan(plan, "worker/" + idx);
+    }
+    if (_registry)
+        _registry->setFaultPlan(plan);
+}
+
+void
 Cluster::deploy(const func::FunctionProfile &profile)
 {
     if (deployments.count(profile.name))
@@ -170,31 +185,51 @@ Cluster::invoke(const std::string &name)
         dep.stats.queueDelayMs.add(toMs(sim.now() - q0));
     }
 
-    int widx = activePolicy->route(RouteContext{name, *this});
-    VHIVE_ASSERT(widx >= 0 && widx < workerCount());
-    auto &orch = workers[static_cast<size_t>(widx)]->orchestrator();
-    WorkerTelemetry &tele = telemetry[static_cast<size_t>(widx)];
-
-    // Whether the cold start (if any) will pull staged artifacts
-    // through the remote tier rather than a local copy.
-    bool artifacts_were_local =
-        _registry == nullptr || orch.artifactsLocal(name);
-
-    InFlightGuard in_flight(tele.inFlight);
-    tele.inFlightPeak = std::max(tele.inFlightPeak, tele.inFlight);
     core::InvokeOptions opts;
     opts.keepWarm = true;
-    auto bd = co_await orch.invoke(name, cfg.coldStartMode, opts);
-    in_flight.release();
+
+    // Route and serve; a cold start torn down by an injected
+    // WorkerCrash is re-routed (the crashed worker's instance is
+    // gone, so load-aware policies see the failure) and retried up
+    // to maxColdStartRetries times. Fault-free runs take exactly one
+    // iteration, event-for-event identical to the pre-fault code.
+    core::LatencyBreakdown bd;
+    int widx = -1;
+    bool artifacts_were_local = true;
+    for (int attempt = 0;; ++attempt) {
+        widx = activePolicy->route(RouteContext{name, *this});
+        VHIVE_ASSERT(widx >= 0 && widx < workerCount());
+        auto &orch = workers[static_cast<size_t>(widx)]->orchestrator();
+        WorkerTelemetry &tele = telemetry[static_cast<size_t>(widx)];
+
+        // Whether the cold start (if any) will pull staged artifacts
+        // through the remote tier rather than a local copy.
+        artifacts_were_local =
+            _registry == nullptr || orch.artifactsLocal(name);
+
+        InFlightGuard in_flight(tele.inFlight);
+        tele.inFlightPeak = std::max(tele.inFlightPeak, tele.inFlight);
+        bd = co_await orch.invoke(name, cfg.coldStartMode, opts);
+        in_flight.release();
+
+        if (!bd.crashed || attempt >= cfg.maxColdStartRetries)
+            break;
+        ++dep.stats.crashRetries;
+    }
 
     admission.reset(); // return the queue-proxy slot
 
     co_await sim.delay(rpc.clusterHop); // response hop
     Duration e2e = sim.now() - t0;
 
+    WorkerTelemetry &tele = telemetry[static_cast<size_t>(widx)];
     dep.lastUsed[static_cast<size_t>(widx)] = sim.now();
     dep.stats.e2eLatencyMs.add(toMs(e2e));
-    if (bd.cold) {
+    if (bd.crashed) {
+        // Retries exhausted: reported failed exactly once, counted in
+        // neither coldStarts nor warmHits.
+        ++dep.stats.failedInvocations;
+    } else if (bd.cold) {
         ++dep.stats.coldStarts;
         ++tele.coldStarts;
         fleetColdMs.add(toMs(e2e));

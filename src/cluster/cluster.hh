@@ -79,6 +79,14 @@ struct ClusterConfig
 
     /** Parameters of the fleet-shared store (sharedSnapshots only). */
     net::ObjectStoreParams sharedStore = net::ObjectStoreParams::remote();
+
+    /**
+     * Cold starts torn down by an injected WorkerCrash fault are
+     * re-routed and retried up to this many times before the
+     * invocation is reported failed. Only reachable when a FaultPlan
+     * is installed (installFaultPlan); fault-free runs never retry.
+     */
+    int maxColdStartRetries = 2;
 };
 
 /** Per-function cluster-level statistics. */
@@ -89,6 +97,21 @@ struct FunctionClusterStats
     std::int64_t coldStarts = 0;
     std::int64_t warmHits = 0;
     std::int64_t scaleDowns = 0;
+
+    /**
+     * @name Injected-fault accounting (zero without a fault plan).
+     * Every accepted invocation lands in exactly one of coldStarts,
+     * warmHits or failedInvocations: crashed attempts that were
+     * retried count only in crashRetries.
+     */
+    /// @{
+
+    /** Crashed cold-start attempts that were re-routed and retried. */
+    std::int64_t crashRetries = 0;
+
+    /** Invocations reported failed after exhausting crash retries. */
+    std::int64_t failedInvocations = 0;
+    /// @}
 };
 
 /**
@@ -175,6 +198,19 @@ class Cluster : private FleetView
 
     /** The fleet-shared store; null unless sharedSnapshots. */
     net::ObjectStore *sharedObjectStore() { return _sharedStore.get(); }
+
+    /**
+     * Install @p plan on every fault hook point of the fleet, under
+     * the registry keys its specs are matched against: the shared
+     * store as "store/shared", each worker's own store as
+     * "store/worker/<i>", each orchestrator's cold-start path as
+     * "worker/<i>", and the snapshot registry's staging passes as
+     * "staging/<function>". Null detaches everywhere. The plan is
+     * borrowed and must outlive the cluster (or be detached first);
+     * without one, every path is bit-identical to the historical
+     * fault-free behaviour.
+     */
+    void installFaultPlan(sim::FaultPlan *plan);
 
   private:
     struct Deployment

@@ -40,17 +40,27 @@ ParallelFleetResult::digest() const
     return h;
 }
 
-ParallelFleet::ParallelFleet(ParallelFleetConfig config)
-    : cfg(std::move(config)), kernel(cfg.workers + 1, cfg.simThreads)
+ParallelFleetConfig
+ParallelFleet::checkedConfig(ParallelFleetConfig config)
 {
-    VHIVE_ASSERT(cfg.workers >= 1);
-    if (cfg.coldStartMode == core::ColdStartMode::RemoteReap ||
-        cfg.coldStartMode == core::ColdStartMode::DedupReap) {
+    // Runs in the member-init list, before the kernel's thread pool
+    // is constructed: an unsupported configuration exits cleanly
+    // instead of tearing down live simulation threads.
+    if (config.coldStartMode == core::ColdStartMode::RemoteReap ||
+        config.coldStartMode == core::ColdStartMode::DedupReap) {
         fatal("ParallelFleet does not support registry-backed "
               "cold-start modes yet (%s needs the shared "
               "SnapshotRegistry; see ROADMAP)",
-              core::coldStartModeName(cfg.coldStartMode));
+              core::coldStartModeName(config.coldStartMode));
     }
+    return config;
+}
+
+ParallelFleet::ParallelFleet(ParallelFleetConfig config)
+    : cfg(checkedConfig(std::move(config))),
+      kernel(cfg.workers + 1, cfg.simThreads)
+{
+    VHIVE_ASSERT(cfg.workers >= 1);
 
     mix = synthesizeAzureMix(cfg.workload);
     for (std::size_t i = 0; i < mix.size(); ++i)
@@ -78,6 +88,18 @@ ParallelFleet::ParallelFleet(ParallelFleetConfig config)
                 kernel, kernel.domain(1 + w), kernel.domain(0),
                 cfg.fabricHop);
         node->lastUsed.assign(mix.size(), 0);
+        if (!cfg.storeFaults.empty()) {
+            // One plan per domain (FaultPlan is not thread-safe),
+            // seeded per worker so domains draw independent but
+            // deterministic fault streams for any simThreads.
+            node->faults = std::make_unique<sim::FaultPlan>(
+                cfg.faultSeed + static_cast<std::uint64_t>(w));
+            for (const sim::FaultSpec &spec : cfg.storeFaults)
+                node->faults->add(spec);
+            node->worker->objectStore().setFaultPlan(
+                node->faults.get(),
+                "store/worker/" + std::to_string(w));
+        }
         nodes.push_back(std::move(node));
     }
 }

@@ -44,6 +44,7 @@
 #include "cluster/routing_policy.hh"
 #include "core/worker.hh"
 #include "net/rpc.hh"
+#include "sim/fault.hh"
 #include "sim/parallel.hh"
 #include "util/stats.hh"
 
@@ -81,6 +82,19 @@ struct ParallelFleetConfig
      * every request pays, and the kernel's lookahead window.
      */
     Duration fabricHop = net::RpcParams{}.clusterHop;
+
+    /**
+     * Store-fault specs applied to every worker's object store. A
+     * FaultPlan is not thread-safe, so each worker domain gets its
+     * own plan built from these specs, seeded faultSeed + worker and
+     * installed under "store/worker/<w>" — deterministic per domain
+     * and safe under any simThreads. Empty (default) = fault-free,
+     * bit-identical to the historical behaviour.
+     */
+    std::vector<sim::FaultSpec> storeFaults;
+
+    /** Base seed of the per-worker fault plans. */
+    std::uint64_t faultSeed = 0;
 };
 
 /** Results of one parallel fleet run. */
@@ -174,6 +188,9 @@ class ParallelFleet
         std::unique_ptr<sim::CrossPort<WorkerMsg>> fromControl;
         std::unique_ptr<sim::CrossPort<ControlMsg>> toControl;
 
+        /** This domain's fault plan (null without storeFaults). */
+        std::unique_ptr<sim::FaultPlan> faults;
+
         /** Completion time per function (index), for keep-alive. */
         std::vector<Time> lastUsed;
 
@@ -208,6 +225,14 @@ class ParallelFleet
       private:
         ParallelFleet &fleet;
     };
+
+    /**
+     * Validate @p config before any member that spawns threads is
+     * constructed: registry-backed cold-start modes are rejected with
+     * a clean fatal() naming the mode, from the member-init list —
+     * never after the kernel's thread pool exists.
+     */
+    static ParallelFleetConfig checkedConfig(ParallelFleetConfig config);
 
     /** @name Worker-domain coroutines. */
     /// @{

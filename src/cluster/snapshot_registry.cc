@@ -1,5 +1,7 @@
 #include "cluster/snapshot_registry.hh"
 
+#include <algorithm>
+
 #include "cluster/routing_policy.hh"
 #include "util/logging.hh"
 
@@ -38,6 +40,19 @@ SnapshotRegistry::ensureStaged(const std::string &name)
     if (!e.done)
         e.done = std::make_unique<sim::Gate>(sim);
 
+    const std::string fault_key = "staging/" + name;
+    if (faults != nullptr) {
+        // Staging service unavailable: work entering an outage window
+        // stalls until it closes (windows are finite, so the loop
+        // always exits).
+        while (const sim::FaultWindow *w = faults->roll(
+                   sim::FaultKind::StagingOutage, fault_key,
+                   sim.now())) {
+            ++faults->stats().stagingStalls;
+            co_await sim.delay(w->end - sim.now());
+        }
+    }
+
     int home = homeWorkerFor(name);
     e.art.homeWorker = home;
     e.art.fetchedBy.assign(workers.size(), false);
@@ -58,36 +73,85 @@ SnapshotRegistry::ensureStaged(const std::string &name)
     }
 
     std::shared_ptr<const vmm::SnapshotManifests> manifests;
-    if (chunked()) {
-        // Chunked staging: upload only chunks no earlier function
-        // staged. Duplicate chunks — the shared runtime pages every
-        // function's snapshot carries — are referenced in the index
-        // and never cross the wire again, fleet-wide.
-        const vmm::SnapshotManifests &m = orch.buildManifests(name);
-        manifests = orch.manifests(name);
-        Bytes uploaded = 0;
-        for (const storage::ChunkManifest *man :
-             {&m.vmmState, &m.ws}) {
-            for (const storage::ChunkRef &c : man->chunks) {
-                ++e.art.chunksTotal;
-                if (sharedChunks.addRef(c)) {
-                    co_await store.putChunk(c.storedBytes);
-                    uploaded += c.storedBytes;
-                    ++e.art.chunksUploaded;
-                } else {
-                    e.art.dedupSavedBytes += c.storedBytes;
+    for (bool staged_ok = false; !staged_ok;) {
+        // One staging attempt. A WorkerCrash rolled mid-pass aborts
+        // it: per-attempt counters are discarded, chunk references
+        // the attempt took are released (rolling the index back), the
+        // lost work is paid in simulated time and the pass retries —
+        // crash windows are finite and every crash advances time, so
+        // the loop terminates and the function still stages exactly
+        // once.
+        bool crashed = false;
+        if (chunked()) {
+            // Chunked staging: upload only chunks no earlier function
+            // staged. Duplicate chunks — the shared runtime pages
+            // every function's snapshot carries — are referenced in
+            // the index and never cross the wire again, fleet-wide.
+            const vmm::SnapshotManifests &m = orch.buildManifests(name);
+            manifests = orch.manifests(name);
+            Bytes uploaded = 0;
+            Bytes saved = 0;
+            std::int64_t total = 0;
+            std::int64_t ups = 0;
+            std::vector<storage::ChunkRef> taken;
+            for (const storage::ChunkManifest *man :
+                 {&m.vmmState, &m.ws}) {
+                for (const storage::ChunkRef &c : man->chunks) {
+                    if (faults != nullptr) {
+                        if (const sim::FaultWindow *w = faults->roll(
+                                sim::FaultKind::WorkerCrash, fault_key,
+                                sim.now())) {
+                            ++faults->stats().workerCrashes;
+                            co_await sim.delay(std::max<Duration>(
+                                usec(1), msec(w->magnitude)));
+                            crashed = true;
+                            break;
+                        }
+                    }
+                    ++total;
+                    taken.push_back(c);
+                    if (sharedChunks.addRef(c)) {
+                        co_await store.putChunk(c.storedBytes);
+                        uploaded += c.storedBytes;
+                        ++ups;
+                    } else {
+                        saved += c.storedBytes;
+                    }
+                }
+                if (crashed)
+                    break;
+            }
+            if (crashed) {
+                // Roll back every reference this attempt took; chunks
+                // it alone stored drop to zero refs and are evicted.
+                for (const storage::ChunkRef &c : taken)
+                    sharedChunks.release(c.hash);
+                continue;
+            }
+            e.art.chunksTotal += total;
+            e.art.chunksUploaded += ups;
+            e.art.dedupSavedBytes += saved;
+            e.art.stagedBytes = uploaded;
+            e.art.logicalBytes = m.rawBytes();
+        } else {
+            if (faults != nullptr) {
+                if (const sim::FaultWindow *w = faults->roll(
+                        sim::FaultKind::WorkerCrash, fault_key,
+                        sim.now())) {
+                    ++faults->stats().workerCrashes;
+                    co_await sim.delay(std::max<Duration>(
+                        usec(1), msec(w->magnitude)));
+                    continue;
                 }
             }
+            // Stage once: one put() of VMM state + WS file serves
+            // every worker (vs one staged copy per worker before).
+            Bytes bytes = core::stagedArtifactBytes(
+                hw.config().vmm.vmmStateSize, orch.record(name));
+            co_await store.put(bytes);
+            e.art.stagedBytes = bytes;
         }
-        e.art.stagedBytes = uploaded;
-        e.art.logicalBytes = m.rawBytes();
-    } else {
-        // Stage once: one put() of VMM state + WS file serves every
-        // worker (vs one staged copy per worker before).
-        Bytes bytes = core::stagedArtifactBytes(
-            hw.config().vmm.vmmStateSize, orch.record(name));
-        co_await store.put(bytes);
-        e.art.stagedBytes = bytes;
+        staged_ok = true;
     }
 
     // Fan the metadata out; the artifact bytes move lazily, at each

@@ -25,6 +25,7 @@
 #include "core/options.hh"
 #include "core/worker.hh"
 #include "net/object_store.hh"
+#include "sim/fault.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -156,6 +157,17 @@ class SnapshotRegistry
     /** Whether this registry stages chunk manifests (DedupReap). */
     bool chunked() const;
 
+    /**
+     * Install a fault plan on staging passes; specs are matched
+     * against "staging/<function>". A StagingOutage window stalls
+     * ensureStaged work entering it; a WorkerCrash aborts the staging
+     * pass mid-flight — chunk references taken by the aborted attempt
+     * are released (the index rolls back) and the pass retries, so a
+     * function is still staged exactly once. Null detaches; the plan
+     * is borrowed and must outlive the registry.
+     */
+    void setFaultPlan(sim::FaultPlan *plan) { faults = plan; }
+
   private:
     struct Entry
     {
@@ -170,6 +182,9 @@ class SnapshotRegistry
     core::ColdStartMode mode;
     std::map<std::string, Entry> entries;
     storage::ChunkStore sharedChunks;
+
+    /** Installed fault plan (borrowed; null = fault-free). */
+    sim::FaultPlan *faults = nullptr;
 };
 
 } // namespace vhive::cluster

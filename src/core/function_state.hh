@@ -35,6 +35,9 @@ struct FunctionStats
     std::int64_t rerecordsTriggered = 0;
     std::int64_t bootInvocations = 0;
     std::int64_t layoutRerandomizations = 0;
+
+    /** Cold starts torn down by an injected WorkerCrash fault. */
+    std::int64_t crashes = 0;
 };
 
 /** One live instance: VM + (optional) uffd/monitor pair. */

@@ -203,6 +203,7 @@ PrefetchLoader::load(LoadContext ctx)
 
     auto source = makeSource(ctx);
     mem::PageFetchPipeline pipeline(ctx.sim, *source);
+    pipeline.setHedgeDelay(ctx.reap.hedgeAfter);
     Bytes ws_bytes = st.record.wsFileBytes();
 
     // Interleaved shapes own their fetch timing; overlapping would
@@ -451,9 +452,14 @@ std::unique_ptr<mem::PageSource>
 DedupReapLoader::makeBackstop(LoadContext &ctx) const
 {
     VHIVE_ASSERT(ctx.st.manifests != nullptr);
-    return std::make_unique<mem::ChunkPageSource>(
+    auto src = std::make_unique<mem::ChunkPageSource>(
         ctx.sim, ctx.artifactStore, ctx.st.manifests->ws,
         &ctx.localChunks, chunkParams(ctx.reap), &ctx.chunkFlights);
+    // An invalidateRecord() or re-record while this cold start is in
+    // flight drops the function's manifests; the source must outlive
+    // that release.
+    src->retain(ctx.st.manifests);
+    return src;
 }
 
 sim::Task<void>
@@ -461,6 +467,9 @@ DedupReapLoader::ensureStaged(LoadContext ctx)
 {
     const vmm::SnapshotManifests &m =
         ensureManifests(ctx.st, ctx.reap, ctx.vmmParams);
+    // Keep m alive across the staging awaits even if a concurrent
+    // invalidateRecord() drops the function's reference.
+    auto pinned = ctx.st.manifests;
     if (ctx.st.remoteStaged)
         co_return;
     // Chunk-level staging: upload only chunks the staged index has
@@ -490,8 +499,11 @@ DedupReapLoader::preRestore(LoadContext ctx)
     if (ctx.st.artifactsLocal)
         co_return;
     VHIVE_ASSERT(ctx.st.manifests != nullptr);
+    // Pinned for the same reason as makeBackstop(): a concurrent
+    // invalidateRecord() must not free the manifest mid-read.
+    auto pinned = ctx.st.manifests;
     mem::ChunkPageSource state_src(ctx.sim, ctx.artifactStore,
-                                   ctx.st.manifests->vmmState,
+                                   pinned->vmmState,
                                    &ctx.localChunks,
                                    chunkParams(ctx.reap),
                                    &ctx.chunkFlights);

@@ -175,6 +175,16 @@ struct ReapOptions
      */
     int admitAfterHits = 1;
 
+    /**
+     * Hedged-request straggler mitigation for the prefetch-family WS
+     * fetch: a window GET still in flight this long after issue gets
+     * a duplicate GET raced against it, and the window proceeds on
+     * whichever lands first (see PageFetchPipeline::setHedgeDelay).
+     * 0 (default) disables hedging — the historical fetch path,
+     * bit-identical to builds without it.
+     */
+    Duration hedgeAfter = 0;
+
     // ------------------------------------------------- DedupReap knobs
 
     /** Chunk size of the content-addressed artifact layer. */
@@ -238,6 +248,8 @@ struct LatencyBreakdown
 
     bool cold = false;        ///< true if a new instance was started
     bool recordPhase = false; ///< true if this invocation recorded
+    bool crashed = false;     ///< injected WorkerCrash tore this cold
+                              ///< start down; total counts lost work
 
     std::int64_t majorFaults = 0;    ///< faults taken by the instance
     std::int64_t residualFaults = 0; ///< monitor-served faults after

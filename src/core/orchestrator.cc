@@ -180,6 +180,7 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
 
     // Cold start: control-plane handling (CRI request, bookkeeping),
     // then dispatch to the strategy registered for the mode.
+    Time cold_t0 = sim.now();
     co_await orchCpus.exec(kControlPlaneCost);
 
     loader::SnapshotLoader &ld = _loaders.loaderFor(mode);
@@ -193,6 +194,27 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
 
     Instance &inst = createInstance(st);
     inst.lastInput = input;
+
+    if (faults != nullptr) {
+        // Worker crash mid-cold-start: the window's magnitude is the
+        // milliseconds of work lost before the crash is detected. The
+        // instance is torn down and the breakdown reports crashed so
+        // the cluster layer can retry; this is NOT counted as a cold
+        // invocation served.
+        if (const sim::FaultWindow *w = faults->roll(
+                sim::FaultKind::WorkerCrash, faultTag, sim.now())) {
+            ++faults->stats().workerCrashes;
+            ++st.stats.crashes;
+            co_await sim.delay(msec(w->magnitude));
+            co_await stopInstanceByPtr(st, &inst);
+            LatencyBreakdown crashed_bd;
+            crashed_bd.cold = true;
+            crashed_bd.crashed = true;
+            crashed_bd.total = sim.now() - cold_t0;
+            co_return crashed_bd;
+        }
+    }
+
     loader::LoadContext ctx{sim,        fs,    hostCpus, objectStore,
                             gen,        vmmParams, reap, uffdParams,
                             st,         inst,  trace,    opts,

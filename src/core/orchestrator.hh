@@ -29,6 +29,7 @@
 #include "mem/chunk_source.hh"
 #include "mem/uffd.hh"
 #include "net/object_store.hh"
+#include "sim/fault.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
 #include "storage/chunk_store.hh"
@@ -220,6 +221,26 @@ class Orchestrator
     loader::LoaderRegistry &loaders() { return _loaders; }
     const loader::LoaderRegistry &loaders() const { return _loaders; }
 
+    /**
+     * Install a fault plan on this worker's cold-start path; @p tag
+     * is the registry key WorkerCrash specs are matched against
+     * (convention: "worker/<i>"). A cold start rolled inside an
+     * active crash window pays the window's magnitude in milliseconds
+     * of lost work, tears its instance down, and returns a breakdown
+     * with crashed set — the cluster layer retries elsewhere. Null
+     * detaches; the plan is borrowed and must outlive the
+     * orchestrator (or be detached first).
+     */
+    void
+    setFaultPlan(sim::FaultPlan *plan, std::string tag = "worker")
+    {
+        faults = plan;
+        faultTag = std::move(tag);
+    }
+
+    /** The installed fault plan (null = none). */
+    sim::FaultPlan *faultPlan() { return faults; }
+
   private:
     FunctionState &state(const std::string &name);
     const FunctionState &state(const std::string &name) const;
@@ -264,6 +285,13 @@ class Orchestrator
     storage::ChunkStore _stagedChunks;
     mem::ChunkFlights _chunkFlights;
     Bytes memoryCapacity = 0;
+
+    /** Installed fault plan (borrowed; null = fault-free). */
+    sim::FaultPlan *faults = nullptr;
+
+    /** Registry key crash faults are rolled under. */
+    std::string faultTag = "worker";
+
     std::int64_t _capacityEvictions = 0;
     std::int64_t _snapshotBuilds = 0;
     std::uint64_t _nextInstanceId = 0;

@@ -20,11 +20,76 @@
 
 namespace vhive::func {
 
+/**
+ * SeBS-style function classes: generator families whose drawn profiles
+ * stay inside a declared envelope (see classEnvelope), so workloads
+ * can mix synthetic-but-plausible functions of a known character
+ * instead of only the ten hand-calibrated FunctionBench profiles.
+ */
+enum class FunctionClass
+{
+    /** A hand-calibrated FunctionBench profile (no generator). */
+    Generic,
+
+    /**
+     * ML inference: large read-mostly working sets (model weights),
+     * tiny per-invocation unique fraction — the dedup-heavy,
+     * prefetch-friendly end of the spectrum — and long framework
+     * init.
+     */
+    MlInference,
+
+    /**
+     * Media transforms: streaming writes over the input, so a large
+     * unique (allocation) fraction and little cross-invocation reuse;
+     * moderate inputs fetched from the store.
+     */
+    Media,
+
+    /**
+     * ETL / data wrangling: bursty large inputs dominate, moderate
+     * working sets and reuse.
+     */
+    Etl,
+};
+
+/** Short class slug ("generic", "ml", "media", "etl"). */
+const char *functionClassName(FunctionClass cls);
+
+/**
+ * Declared generator envelope of one function class: every profile
+ * makeClassProfile() draws stays inside these bounds (inclusive), for
+ * any seed and index — the property the chaos/property suites check.
+ */
+struct ClassEnvelope
+{
+    Bytes minWorkingSet = 0;
+    Bytes maxWorkingSet = 0;
+    double minUniqueFrac = 0;
+    double maxUniqueFrac = 0;
+    double minContiguity = 0;
+    double maxContiguity = 0;
+    Bytes minInput = 0;
+    Bytes maxInput = 0;
+    double minWarmMs = 0;
+    double maxWarmMs = 0;
+    double minInitMs = 0;
+    double maxInitMs = 0;
+    Bytes minBootFootprint = 0;
+    Bytes maxBootFootprint = 0;
+};
+
+/** The envelope of @p cls (Generic spans the FunctionBench pool). */
+const ClassEnvelope &classEnvelope(FunctionClass cls);
+
 /** Static model of one serverless function. */
 struct FunctionProfile
 {
     std::string name;
     std::string description;
+
+    /** Generator class this profile was drawn from. */
+    FunctionClass cls = FunctionClass::Generic;
 
     /** Warm (memory-resident) invocation processing time. */
     Duration warmExec = 0;
@@ -117,6 +182,17 @@ const std::vector<FunctionProfile> &functionBench();
 
 /** Look up a profile by name; fatal() if absent. */
 const FunctionProfile &profileByName(const std::string &name);
+
+/**
+ * Draw profile @p idx of class @p cls: every property is sampled
+ * uniformly inside the class envelope from the named sub-stream
+ * ("class/<slug>/<idx>") of @p seed, so the same (cls, seed, idx)
+ * always yields the same profile and distinct indices are
+ * independent. Generic ignores the seed and cycles the
+ * hand-calibrated FunctionBench pool.
+ */
+FunctionProfile makeClassProfile(FunctionClass cls,
+                                 std::uint64_t seed, int idx);
 
 } // namespace vhive::func
 

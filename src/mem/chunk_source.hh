@@ -107,6 +107,19 @@ class ChunkPageSource final : public PageSource
 
     const ChunkFetchStats &chunkStats() const { return _chunkStats; }
 
+    /**
+     * Hold @p owner alive for this source's lifetime. The manifest is
+     * borrowed by reference; when it lives inside a shared object that
+     * can be dropped concurrently (a function's SnapshotManifests,
+     * which Orchestrator::invalidateRecord or a re-record releases
+     * while a cold start is still reading), the creator pins that
+     * owner here so in-flight reads never see a freed manifest.
+     */
+    void retain(std::shared_ptr<const void> owner)
+    {
+        pinned = std::move(owner);
+    }
+
     /** Fetch every chunk of the manifest (bulk artifact transfer). */
     sim::Task<void> readAll();
 
@@ -118,6 +131,7 @@ class ChunkPageSource final : public PageSource
     storage::ChunkStore ownedCache;
     ChunkFlights *flights;
     ChunkFlights ownedFlights;
+    std::shared_ptr<const void> pinned;
     ChunkSourceParams params;
     ChunkFetchStats _chunkStats;
     TierStats cacheRow;

@@ -33,6 +33,40 @@ PageFetchPipeline::fetchWindowed(Bytes offset, Bytes len,
                                 nullptr);
 }
 
+/**
+ * Tracks every racing GET leg one fetchWindowed call has spawned.
+ * The fetch closes the join after its workers finish, then waits for
+ * outstanding (loser) legs, so no leg outlives the fetch frame — and
+ * with it the pipeline, which legs dereference.
+ */
+struct PageFetchPipeline::FetchJoin
+{
+    explicit FetchJoin(sim::Simulation &sim) : all(sim) {}
+
+    void
+    legDone()
+    {
+        if (--legs == 0 && closed)
+            all.openGate();
+    }
+
+    sim::Gate all;
+    std::int64_t legs = 0;
+    bool closed = false;
+};
+
+/**
+ * One hedged window's race. Held by shared_ptr so a hedge timer that
+ * outlives the fetch (its race long since won) still has valid state
+ * to check before it quietly expires.
+ */
+struct PageFetchPipeline::WindowRace
+{
+    explicit WindowRace(sim::Simulation &sim) : first(sim) {}
+
+    sim::Gate first;
+};
+
 sim::Task<void>
 PageFetchPipeline::fetchWindowedTimed(Bytes offset, Bytes len,
                                       Bytes windowBytes, int inFlight,
@@ -61,12 +95,19 @@ PageFetchPipeline::fetchWindowedTimed(Bytes offset, Bytes len,
     Time t0 = sim.now();
     int workers = static_cast<int>(std::min<std::int64_t>(
         std::max(1, inFlight), windows));
+    FetchJoin join(sim);
     sim::Latch done(sim, workers);
     for (int w = 0; w < workers; ++w) {
         sim.spawn(windowWorker(offset, len, windowBytes, w, workers,
-                               &done));
+                               &done, &join));
     }
     co_await done.wait();
+    // Workers proceed on each window's first leg; drain the losers
+    // before returning so no leg outlives this frame. Every race is
+    // won by now, so sleeping hedge timers cannot add legs.
+    join.closed = true;
+    if (join.legs > 0)
+        co_await join.all.wait();
     snapshotTiers();
     if (out != nullptr)
         *out = sim.now() - t0;
@@ -75,15 +116,59 @@ PageFetchPipeline::fetchWindowedTimed(Bytes offset, Bytes len,
 sim::Task<void>
 PageFetchPipeline::windowWorker(Bytes offset, Bytes len,
                                 Bytes windowBytes, std::int64_t begin,
-                                std::int64_t stride, sim::Latch *done)
+                                std::int64_t stride, sim::Latch *done,
+                                FetchJoin *join)
 {
     std::int64_t windows = (len + windowBytes - 1) / windowBytes;
     for (std::int64_t i = begin; i < windows; i += stride) {
         Bytes off = offset + i * windowBytes;
         Bytes n = std::min(windowBytes, offset + len - off);
-        co_await source.read(off, n);
+        if (hedgeDelay > 0)
+            co_await hedgedRead(off, n, join);
+        else
+            co_await source.read(off, n);
     }
     done->arrive();
+}
+
+sim::Task<void>
+PageFetchPipeline::hedgedRead(Bytes off, Bytes n, FetchJoin *join)
+{
+    auto race = std::make_shared<WindowRace>(sim);
+    ++join->legs;
+    sim.spawn(hedgeLeg(off, n, race, false, join));
+    sim.spawn(hedgeTimer(off, n, race, join));
+    co_await race->first.wait();
+}
+
+sim::Task<void>
+PageFetchPipeline::hedgeLeg(Bytes off, Bytes n,
+                            std::shared_ptr<WindowRace> race,
+                            bool hedge, FetchJoin *join)
+{
+    co_await source.read(off, n);
+    if (!race->first.isOpen()) {
+        if (hedge)
+            ++_stats.hedgeWins;
+        race->first.openGate();
+    }
+    join->legDone();
+}
+
+sim::Task<void>
+PageFetchPipeline::hedgeTimer(Bytes off, Bytes n,
+                              std::shared_ptr<WindowRace> race,
+                              FetchJoin *join)
+{
+    co_await sim.delay(hedgeDelay);
+    if (race->first.isOpen())
+        co_return;
+    // The primary leg is still in flight, which keeps the join open
+    // and the pipeline alive: safe to issue the duplicate GET.
+    ++_stats.hedgesIssued;
+    _stats.hedgedBytes += n;
+    ++join->legs;
+    sim.spawn(hedgeLeg(off, n, race, true, join));
 }
 
 /**

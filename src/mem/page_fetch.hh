@@ -30,6 +30,7 @@
 #define VHIVE_MEM_PAGE_FETCH_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/guest_memory.hh"
@@ -94,6 +95,25 @@ struct PageFetchStats
     Bytes bytesFetched = 0;
 
     /**
+     * @name Hedged-request accounting (fixed-window fetches with a
+     * hedge delay configured; see setHedgeDelay). bytesFetched counts
+     * each logical byte once; hedgedBytes is the extra wire traffic
+     * the duplicate GETs caused, so a remote-only source's store-side
+     * bytesServed equals bytesFetched + hedgedBytes.
+     */
+    /// @{
+
+    /** Duplicate window GETs issued after the hedge delay expired. */
+    std::int64_t hedgesIssued = 0;
+
+    /** Hedges whose duplicate landed before the original GET. */
+    std::int64_t hedgeWins = 0;
+
+    /** Bytes requested by the duplicate GETs (wasted wire traffic). */
+    Bytes hedgedBytes = 0;
+    /// @}
+
+    /**
      * Per-tier accounting snapshot from the source (empty unless the
      * source is a TieredPageSource). Invariant: the per-tier byte
      * counts sum to bytesFetched when all traffic is tiered.
@@ -149,6 +169,18 @@ class PageFetchPipeline
     AdaptiveWindowParams &adaptiveParams() { return adaptive; }
 
     /**
+     * Hedge fixed-size windowed fetches against tail stragglers: a
+     * window GET still in flight @p d after issue gets a duplicate
+     * GET raced against it, and the window completes on whichever
+     * lands first. Loser legs are drained before the fetch returns
+     * (they overlap later windows instead of serializing them), and
+     * their wire bytes are accounted in stats().hedgedBytes. 0 (the
+     * default) disables hedging; the fetch path is then bit-identical
+     * to builds without hedging.
+     */
+    void setHedgeDelay(Duration d) { hedgeDelay = d; }
+
+    /**
      * ParallelPageFaults shape: @p workers strided tasks issue one
      * page-sized source read per entry of @p pages, pay the
      * UFFDIO_COPY cost, and mark the page present in @p guest.
@@ -167,11 +199,34 @@ class PageFetchPipeline
                size_t stride, UserFaultFd &uffd, GuestMemory &guest,
                sim::Latch *done);
 
+    /**
+     * Join of every racing GET leg one fetchWindowed call spawned;
+     * the fetch drains it before returning so no leg outlives the
+     * pipeline.
+     */
+    struct FetchJoin;
+
+    /** First-leg-lands race of one hedged window (shared by legs). */
+    struct WindowRace;
+
     /** One strided worker of fetchWindowed. */
     sim::Task<void> windowWorker(Bytes offset, Bytes len,
                                  Bytes windowBytes, std::int64_t begin,
-                                 std::int64_t stride,
-                                 sim::Latch *done);
+                                 std::int64_t stride, sim::Latch *done,
+                                 FetchJoin *join);
+
+    /** One window read, hedged with a delayed duplicate GET. */
+    sim::Task<void> hedgedRead(Bytes off, Bytes n, FetchJoin *join);
+
+    /** One racing GET (primary or the hedge) of a hedged window. */
+    sim::Task<void> hedgeLeg(Bytes off, Bytes n,
+                             std::shared_ptr<WindowRace> race,
+                             bool hedge, FetchJoin *join);
+
+    /** Issues the duplicate GET when the primary outlives the delay. */
+    sim::Task<void> hedgeTimer(Bytes off, Bytes n,
+                               std::shared_ptr<WindowRace> race,
+                               FetchJoin *join);
 
     /** Shared state of one adaptive fetch's AIMD controller. */
     struct AdaptiveState;
@@ -191,6 +246,9 @@ class PageFetchPipeline
     PageSource &source;
     PageFetchStats _stats;
     AdaptiveWindowParams adaptive;
+
+    /** Hedge delay for fixed-size windowed fetches (0 = off). */
+    Duration hedgeDelay = 0;
 };
 
 } // namespace vhive::mem

@@ -29,9 +29,34 @@ ObjectStore::ObjectStore(sim::Simulation &sim, ObjectStoreParams params)
             sim, _params.concurrentStreams);
 }
 
+namespace {
+
+Duration
+scaledBy(Duration d, double factor)
+{
+    return static_cast<Duration>(static_cast<double>(d) * factor);
+}
+
+} // namespace
+
 sim::Task<void>
 ObjectStore::transfer(Bytes bytes)
 {
+    if (faults != nullptr) {
+        // Unreachable store: the request stalls until the outage
+        // window closes (client retry-with-backoff collapses to
+        // waiting out the outage in simulated time), then proceeds.
+        // Back-to-back windows are waited out in turn; windows are
+        // finite, so the loop always exits.
+        while (const sim::FaultWindow *w = faults->roll(
+                   sim::FaultKind::StoreOutage, faultTag, sim.now())) {
+            Duration stall = w->end - sim.now();
+            ++faults->stats().outageStalls;
+            faults->stats().outageStallTime += stall;
+            ++_stats.outageStalls;
+            co_await sim.delay(stall);
+        }
+    }
     std::optional<sim::SemaphoreGuard> guard;
     if (streams) {
         if (streams->availablePermits() == 0) {
@@ -49,7 +74,36 @@ ObjectStore::transfer(Bytes bytes)
     }
     Duration xfer = static_cast<Duration>(static_cast<double>(bytes) /
                                           _params.bandwidth * 1e9);
-    co_await sim.delay(_params.rtt + _params.requestOverhead + xfer);
+    Duration service = _params.rtt + _params.requestOverhead + xfer;
+    if (faults != nullptr) {
+        // Degraded backend: the whole request slows by the window's
+        // magnitude (every affected request, service-wide).
+        if (const sim::FaultWindow *w = faults->roll(
+                sim::FaultKind::LatencyStorm, faultTag, sim.now())) {
+            service = scaledBy(service, w->magnitude);
+            ++faults->stats().stormHits;
+        }
+        // Tail straggler: this request alone got unlucky.
+        if (const sim::FaultWindow *w = faults->roll(
+                sim::FaultKind::Straggler, faultTag, sim.now())) {
+            service = scaledBy(service, w->magnitude);
+            ++faults->stats().stragglers;
+        }
+        // Mid-stream errors: each failed attempt pays the round trip,
+        // service cost and half the streaming before the client
+        // retries. Every iteration advances simulated time, so the
+        // loop exits once the window closes even at probability 1.
+        Duration retry_cost =
+            _params.rtt + _params.requestOverhead + xfer / 2;
+        while (retry_cost > 0 &&
+               faults->roll(sim::FaultKind::RequestError, faultTag,
+                            sim.now()) != nullptr) {
+            ++faults->stats().requestErrors;
+            ++_stats.requestRetries;
+            co_await sim.delay(retry_cost);
+        }
+    }
+    co_await sim.delay(service);
 }
 
 sim::Task<void>

@@ -17,7 +17,9 @@
 #define VHIVE_NET_OBJECT_STORE_HH
 
 #include <memory>
+#include <string>
 
+#include "sim/fault.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -95,6 +97,15 @@ struct ObjectStoreStats
     std::int64_t streamWaits = 0;
     Duration streamWaitTime = 0;
     std::int64_t peakStreamQueue = 0;
+
+    /**
+     * Injected-fault visibility (zero without a FaultPlan): requests
+     * that paid at least one mid-stream error retry, and transfers
+     * stalled by a store outage window. Latency-shaping faults
+     * (storms, stragglers) count in the plan's FaultStats only.
+     */
+    std::int64_t requestRetries = 0;
+    std::int64_t outageStalls = 0;
 };
 
 /**
@@ -148,6 +159,24 @@ class ObjectStore
     const ObjectStoreStats &stats() const { return _stats; }
     void resetStats() { _stats = ObjectStoreStats{}; }
 
+    /**
+     * Install a fault plan on this store's request path; @p tag is the
+     * registry key the plan's specs are matched against (convention:
+     * "store/shared", "store/worker/<i>"). Null detaches. The plan is
+     * borrowed and must outlive the store (or be detached first);
+     * without one, transfer() takes the historical fast path,
+     * bit-identical to builds before fault injection existed.
+     */
+    void
+    setFaultPlan(sim::FaultPlan *plan, std::string tag = "store")
+    {
+        faults = plan;
+        faultTag = std::move(tag);
+    }
+
+    /** The installed fault plan (null = none). */
+    sim::FaultPlan *faultPlan() { return faults; }
+
   private:
     /** Shared request path: round trip, service cost, streaming. */
     sim::Task<void> transfer(Bytes bytes);
@@ -158,6 +187,12 @@ class ObjectStore
 
     /** Stream slots when the link is bounded (null = unbounded). */
     std::unique_ptr<sim::Semaphore> streams;
+
+    /** Installed fault plan (borrowed; null = fault-free). */
+    sim::FaultPlan *faults = nullptr;
+
+    /** Registry key this store's hooks roll faults under. */
+    std::string faultTag = "store";
 };
 
 } // namespace vhive::net

@@ -1,0 +1,84 @@
+#include "sim/fault.hh"
+
+namespace vhive::sim {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::StoreOutage: return "store-outage";
+      case FaultKind::LatencyStorm: return "latency-storm";
+      case FaultKind::Straggler: return "straggler";
+      case FaultKind::RequestError: return "request-error";
+      case FaultKind::StagingOutage: return "staging-outage";
+      case FaultKind::WorkerCrash: return "worker-crash";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Spec-target match: exact, "*", or trailing-'*' prefix. */
+bool
+targetMatches(const std::string &spec, std::string_view target)
+{
+    if (spec == "*")
+        return true;
+    if (!spec.empty() && spec.back() == '*') {
+        std::string_view prefix(spec.data(), spec.size() - 1);
+        return target.substr(0, prefix.size()) == prefix;
+    }
+    return spec == target;
+}
+
+} // namespace
+
+const FaultWindow *
+FaultPlan::windowFor(FaultKind kind, std::string_view target,
+                     Time now) const
+{
+    for (const FaultSpec &spec : _specs) {
+        if (spec.kind != kind || !targetMatches(spec.target, target))
+            continue;
+        for (const FaultWindow &w : spec.windows) {
+            if (now >= w.start && now < w.end)
+                return &w;
+        }
+    }
+    return nullptr;
+}
+
+Rng &
+FaultPlan::streamFor(FaultKind kind, std::string_view target)
+{
+    std::string key = std::string(faultKindName(kind)) + "/" +
+                      std::string(target);
+    auto it = _streams.find(key);
+    if (it == _streams.end())
+        it = _streams.emplace(key, Rng(_seed, key)).first;
+    return it->second;
+}
+
+const FaultWindow *
+FaultPlan::roll(FaultKind kind, std::string_view target, Time now)
+{
+    const FaultWindow *w = windowFor(kind, target, now);
+    if (w == nullptr)
+        return nullptr;
+    if (w->probability >= 1.0)
+        return w;
+    return streamFor(kind, target).chance(w->probability) ? w
+                                                          : nullptr;
+}
+
+bool
+FaultPlan::exhausted(Time now) const
+{
+    for (const FaultSpec &spec : _specs)
+        for (const FaultWindow &w : spec.windows)
+            if (w.end > now)
+                return false;
+    return true;
+}
+
+} // namespace vhive::sim

@@ -432,6 +432,184 @@ TEST(DedupReap, RerecordReleasesStagedChunkRefs)
     EXPECT_EQ(orch.stagedChunkIndex().stats().evictions, staged);
 }
 
+TEST(DedupReap, SharedChunkRefsReleaseInOrder)
+{
+    // Release ordering of the staged index under invalidation: a
+    // chunk referenced by two functions must survive the first
+    // function's invalidateRecord() with exactly the other function's
+    // references, a repeated invalidation must release nothing (no
+    // double-release, no negative counts), and only the last holder's
+    // invalidation evicts.
+    Simulation sim;
+    core::WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    cfg.reap.chunkDupRatio = 0.6;
+    core::Worker w(sim, cfg);
+    auto &orch = w.orchestrator();
+    orch.registerFunction(func::profileByName("helloworld"));
+    orch.registerFunction(func::profileByName("pyaes"));
+
+    runScenario(sim, [&]() -> Task<void> {
+        core::InvokeOptions opts;
+        opts.forceCold = true;
+        for (const char *fn : {"helloworld", "pyaes"}) {
+            co_await orch.prepareSnapshot(fn);
+            (void)co_await orch.invoke(
+                fn, core::ColdStartMode::DedupReap, opts);
+            (void)co_await orch.invoke(
+                fn, core::ColdStartMode::DedupReap, opts);
+        }
+    });
+
+    auto hw = orch.manifests("helloworld");
+    auto py = orch.manifests("pyaes");
+    ASSERT_NE(hw, nullptr);
+    ASSERT_NE(py, nullptr);
+    auto countRefs = [](const vmm::SnapshotManifests &m,
+                        storage::ChunkHash h) {
+        std::int64_t n = 0;
+        for (const auto *man : {&m.vmmState, &m.ws})
+            for (const auto &c : man->chunks)
+                if (c.hash == h)
+                    ++n;
+        return n;
+    };
+    // A chunk both functions staged (chunkDupRatio guarantees one).
+    storage::ChunkHash shared_hash{};
+    bool found = false;
+    for (const auto &c : hw->ws.chunks) {
+        if (countRefs(*py, c.hash) > 0) {
+            shared_hash = c.hash;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    const auto &staged = orch.stagedChunkIndex();
+    EXPECT_EQ(staged.refCount(shared_hash),
+              countRefs(*hw, shared_hash) +
+                  countRefs(*py, shared_hash));
+
+    // Drop helloworld: the shared chunk keeps pyaes's references.
+    orch.invalidateRecord("helloworld");
+    EXPECT_EQ(staged.refCount(shared_hash),
+              countRefs(*py, shared_hash));
+    EXPECT_DOUBLE_EQ(staged.residentFraction(py->ws), 1.0);
+    EXPECT_DOUBLE_EQ(staged.residentFraction(py->vmmState), 1.0);
+
+    // Repeated invalidation finds nothing left to release.
+    std::int64_t count_after = staged.chunkCount();
+    orch.invalidateRecord("helloworld");
+    EXPECT_EQ(staged.chunkCount(), count_after);
+    EXPECT_EQ(staged.refCount(shared_hash),
+              countRefs(*py, shared_hash));
+
+    // The last holder's invalidation evicts everything.
+    orch.invalidateRecord("pyaes");
+    EXPECT_EQ(staged.refCount(shared_hash), 0);
+    EXPECT_EQ(staged.chunkCount(), 0);
+}
+
+TEST(DedupReap, InvalidateMidColdStartKeepsIndexConsistent)
+{
+    // invalidateRecord() racing an in-flight cold start: the loader
+    // pinned the manifests, so the fetch completes normally, the
+    // staged index drops exactly this function's references (the
+    // other function's stay fully resident), and a re-record +
+    // re-stage converges back to a fully staged pair.
+    Simulation sim;
+    core::WorkerConfig cfg;
+    cfg.objectStore = net::ObjectStoreParams::remote();
+    cfg.reap.chunkDupRatio = 0.6;
+    core::Worker w(sim, cfg);
+    auto &orch = w.orchestrator();
+    orch.registerFunction(func::profileByName("helloworld"));
+    orch.registerFunction(func::profileByName("pyaes"));
+
+    runScenario(sim, [&]() -> Task<void> {
+        core::InvokeOptions opts;
+        opts.forceCold = true;
+        for (const char *fn : {"helloworld", "pyaes"}) {
+            co_await orch.prepareSnapshot(fn);
+            (void)co_await orch.invoke(
+                fn, core::ColdStartMode::DedupReap, opts);
+            (void)co_await orch.invoke(
+                fn, core::ColdStartMode::DedupReap, opts);
+        }
+    });
+    auto hw = orch.manifests("helloworld");
+    auto py = orch.manifests("pyaes");
+    ASSERT_NE(hw, nullptr);
+    ASSERT_NE(py, nullptr);
+
+    // Model a worker that lost its local copies: the next cold start
+    // must walk the chunk-remote path, a long in-flight fetch.
+    orch.localChunkCache().releaseManifest(hw->ws);
+    orch.localChunkCache().releaseManifest(hw->vmmState);
+    orch.evictLocalArtifacts("helloworld");
+    orch.flushHostCaches();
+
+    core::LatencyBreakdown bd;
+    bool invoke_done = false;
+    bool raced_in_flight = false;
+    struct Invoker {
+        static Task<void>
+        run(core::Orchestrator &orch, core::LatencyBreakdown *bd,
+            bool *done)
+        {
+            core::InvokeOptions opts;
+            opts.forceCold = true;
+            *bd = co_await orch.invoke(
+                "helloworld", core::ColdStartMode::DedupReap, opts);
+            *done = true;
+        }
+    };
+    runScenario(sim, [&]() -> Task<void> {
+        sim.spawn(Invoker::run(orch, &bd, &invoke_done));
+        co_await sim.delay(msec(10));
+        raced_in_flight = !invoke_done;
+        orch.invalidateRecord("helloworld");
+    });
+
+    // The invalidation really raced the cold start, which still
+    // completed against the pinned manifest.
+    EXPECT_TRUE(raced_in_flight);
+    EXPECT_TRUE(invoke_done);
+    EXPECT_TRUE(bd.cold);
+    EXPECT_FALSE(bd.crashed);
+    EXPECT_GT(bd.total, 0);
+    EXPECT_EQ(orch.manifests("helloworld"), nullptr);
+
+    // The staged index holds exactly pyaes's chunks now.
+    const auto &staged = orch.stagedChunkIndex();
+    EXPECT_DOUBLE_EQ(staged.residentFraction(py->ws), 1.0);
+    EXPECT_DOUBLE_EQ(staged.residentFraction(py->vmmState), 1.0);
+    std::set<storage::ChunkHash> keep;
+    for (const auto *man : {&py->vmmState, &py->ws})
+        for (const auto &c : man->chunks)
+            keep.insert(c.hash);
+    EXPECT_EQ(staged.chunkCount(),
+              static_cast<std::int64_t>(keep.size()));
+
+    // Re-record + re-stage: record phase first (the invalidation
+    // cleared the record), then a chunked cold start stages again.
+    runScenario(sim, [&]() -> Task<void> {
+        core::InvokeOptions opts;
+        opts.forceCold = true;
+        (void)co_await orch.invoke(
+            "helloworld", core::ColdStartMode::DedupReap, opts);
+        (void)co_await orch.invoke(
+            "helloworld", core::ColdStartMode::DedupReap, opts);
+    });
+    EXPECT_TRUE(orch.hasRecord("helloworld"));
+    auto hw2 = orch.manifests("helloworld");
+    ASSERT_NE(hw2, nullptr);
+    EXPECT_DOUBLE_EQ(staged.residentFraction(hw2->ws), 1.0);
+    EXPECT_DOUBLE_EQ(staged.residentFraction(hw2->vmmState), 1.0);
+    EXPECT_DOUBLE_EQ(staged.residentFraction(py->ws), 1.0);
+}
+
 // ------------------------------------------------- adaptive AIMD window
 
 TEST(AdaptiveWindow, ConvergesIntoSweetSpotBand)

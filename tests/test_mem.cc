@@ -9,7 +9,9 @@
 #include "host/cpu_pool.hh"
 #include "mem/guest_memory.hh"
 #include "mem/page_fetch.hh"
+#include "mem/page_source.hh"
 #include "mem/tiered_source.hh"
+#include "sim/fault.hh"
 #include "mem/uffd.hh"
 #include "net/object_store.hh"
 #include "sim/simulation.hh"
@@ -389,6 +391,105 @@ TEST(PageFetchPipeline, WindowedMovesIdenticalBytesToContiguous)
                 << "window=" << w << " inFlight=" << n;
         }
     }
+}
+
+TEST(PageFetchPipeline, WindowedZeroLengthIsNoOpFetch)
+{
+    // A zero-length range degenerates to one contiguous fetch of zero
+    // bytes for every window size (fixed, covering, adaptive): no
+    // windows issued, no bytes moved, and the pipeline still accounts
+    // the call.
+    const Bytes windows[] = {kPageSize, kMiB, 0};
+    for (Bytes w : windows) {
+        Simulation sim;
+        net::ObjectStore store(sim, net::ObjectStoreParams::remote());
+        RemoteObjectSource src(store);
+        PageFetchPipeline pipe(sim, src);
+        struct T {
+            static Task<void>
+            run(PageFetchPipeline &p, Bytes w)
+            {
+                co_await p.fetchWindowed(0, 0, w, 4);
+            }
+        };
+        sim.spawn(T::run(pipe, w));
+        sim.run();
+        EXPECT_EQ(pipe.stats().bytesFetched, 0) << "window=" << w;
+        EXPECT_EQ(pipe.stats().contiguousFetches, 1) << "window=" << w;
+        EXPECT_EQ(pipe.stats().windowedFetches, 0) << "window=" << w;
+        EXPECT_EQ(pipe.stats().windowsIssued, 0) << "window=" << w;
+        EXPECT_EQ(store.stats().bytesServed, 0) << "window=" << w;
+    }
+}
+
+TEST(PageFetchPipeline, WindowLargerThanArtifactIsContiguous)
+{
+    // A window covering (or exceeding) the whole artifact must
+    // degenerate to the contiguous shape: one request, no windowed
+    // accounting.
+    const Bytes len = 2 * kMiB + 3 * kKiB;
+    for (Bytes w : {len, len + 1, 100 * len}) {
+        Simulation sim;
+        net::ObjectStore store(sim, net::ObjectStoreParams::remote());
+        RemoteObjectSource src(store);
+        PageFetchPipeline pipe(sim, src);
+        struct T {
+            static Task<void>
+            run(PageFetchPipeline &p, Bytes len, Bytes w)
+            {
+                co_await p.fetchWindowed(0, len, w, 8);
+            }
+        };
+        sim.spawn(T::run(pipe, len, w));
+        sim.run();
+        EXPECT_EQ(pipe.stats().contiguousFetches, 1) << "window=" << w;
+        EXPECT_EQ(pipe.stats().windowedFetches, 0) << "window=" << w;
+        EXPECT_EQ(pipe.stats().windowsIssued, 0) << "window=" << w;
+        EXPECT_EQ(pipe.stats().bytesFetched, len) << "window=" << w;
+        EXPECT_EQ(store.stats().gets, 1) << "window=" << w;
+        EXPECT_EQ(store.stats().bytesServed, len) << "window=" << w;
+    }
+}
+
+TEST(PageFetchPipeline, AdaptiveFetchCompletesUnderStoreErrors)
+{
+    // The AIMD-sized adaptive fetch over a store injecting mid-stream
+    // request errors: errors inflate observed per-GET times (which the
+    // controller may read as congestion), but the fetch must still
+    // move every byte exactly once and converge inside the configured
+    // window bounds.
+    Simulation sim;
+    net::ObjectStore store(sim, net::ObjectStoreParams::remote());
+    sim::FaultPlan plan(17);
+    sim::FaultSpec err;
+    err.kind = sim::FaultKind::RequestError;
+    err.target = "store";
+    err.windows.push_back(sim::FaultWindow{0, sec(600), 1.0, 0.4});
+    plan.add(err);
+    store.setFaultPlan(&plan, "store");
+
+    const Bytes len = 24 * kMiB + 5 * kKiB;
+    RemoteObjectSource src(store);
+    PageFetchPipeline pipe(sim, src);
+    struct T {
+        static Task<void>
+        run(PageFetchPipeline &p, Bytes len)
+        {
+            co_await p.fetchWindowed(0, len, 0, 4); // adaptive
+        }
+    };
+    sim.spawn(T::run(pipe, len));
+    sim.run();
+
+    EXPECT_EQ(pipe.stats().adaptiveFetches, 1);
+    EXPECT_EQ(pipe.stats().bytesFetched, len);
+    EXPECT_EQ(store.stats().bytesServed, len);
+    EXPECT_GT(plan.stats().requestErrors, 0);
+    EXPECT_EQ(store.stats().requestRetries, plan.stats().requestErrors);
+    const auto &ap = pipe.adaptiveParams();
+    EXPECT_GE(pipe.stats().convergedWindowBytes, ap.minWindow);
+    EXPECT_LE(pipe.stats().convergedWindowBytes, ap.maxWindow);
+    EXPECT_GT(pipe.stats().windowsIssued, 1);
 }
 
 TEST(PageFetchPipeline, TieredAccountingInvariants)

@@ -18,6 +18,9 @@
  *  P10 The timing-wheel queue (now-ring / near heap / wheel / far
  *      heap) pops in exactly the order a flat reference heap does,
  *      for random schedules spanning every level's time range.
+ *  P11 Class profile generators stay inside their declared envelope
+ *      for every (seed, index), are bit-deterministic, and Generic
+ *      cycles the FunctionBench pool unchanged.
  */
 
 #include <gtest/gtest.h>
@@ -474,6 +477,95 @@ TEST_P(KernelQueue, WheelMatchesReferenceHeapUnderRandomSchedules)
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelQueue,
                          ::testing::Values(1ull, 7ull, 99ull,
                                            0xfeedfaceull));
+
+// --------------------------------------- P11: class profile envelopes
+
+TEST(FunctionClasses, ProfilesStayInsideDeclaredEnvelope)
+{
+    const func::FunctionClass classes[] = {
+        func::FunctionClass::MlInference, func::FunctionClass::Media,
+        func::FunctionClass::Etl};
+    const std::uint64_t seeds[] = {1, 7, 42, 0xa27e, 0xfeedface};
+    for (auto cls : classes) {
+        const auto &env = func::classEnvelope(cls);
+        for (auto seed : seeds) {
+            for (int idx = 0; idx < 32; ++idx) {
+                SCOPED_TRACE(std::string(func::functionClassName(cls)) +
+                             " seed=" + std::to_string(seed) +
+                             " idx=" + std::to_string(idx));
+                auto p = func::makeClassProfile(cls, seed, idx);
+                EXPECT_EQ(p.cls, cls);
+                EXPECT_GE(p.workingSet, env.minWorkingSet);
+                EXPECT_LE(p.workingSet, env.maxWorkingSet);
+                EXPECT_GE(p.uniqueFrac, env.minUniqueFrac);
+                EXPECT_LE(p.uniqueFrac, env.maxUniqueFrac);
+                EXPECT_GE(p.contiguityMean, env.minContiguity);
+                EXPECT_LE(p.contiguityMean, env.maxContiguity);
+                EXPECT_GE(p.inputSize, env.minInput);
+                EXPECT_LE(p.inputSize, env.maxInput);
+                EXPECT_GE(p.warmExec, msec(env.minWarmMs));
+                EXPECT_LE(p.warmExec, msec(env.maxWarmMs));
+                EXPECT_GE(p.initTime, msec(env.minInitMs));
+                EXPECT_LE(p.initTime, msec(env.maxInitMs));
+                EXPECT_GE(p.bootFootprint, env.minBootFootprint);
+                EXPECT_LE(p.bootFootprint, env.maxBootFootprint);
+                // The generated VM is self-consistent: the working
+                // set and boot footprint fit into guest memory.
+                EXPECT_LE(p.workingSet, p.vmMemory);
+                EXPECT_LE(p.bootFootprint, p.vmMemory);
+            }
+        }
+    }
+}
+
+TEST(FunctionClasses, GenerationIsDeterministicAndSeedSensitive)
+{
+    for (auto cls : {func::FunctionClass::MlInference,
+                     func::FunctionClass::Media,
+                     func::FunctionClass::Etl}) {
+        SCOPED_TRACE(func::functionClassName(cls));
+        auto a = func::makeClassProfile(cls, 42, 3);
+        auto b = func::makeClassProfile(cls, 42, 3);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.warmExec, b.warmExec);
+        EXPECT_EQ(a.workingSet, b.workingSet);
+        EXPECT_EQ(a.uniqueFrac, b.uniqueFrac);
+        EXPECT_EQ(a.contiguityMean, b.contiguityMean);
+        EXPECT_EQ(a.inputSize, b.inputSize);
+        EXPECT_EQ(a.initTime, b.initTime);
+        EXPECT_EQ(a.bootFootprint, b.bootFootprint);
+        // A different seed or index perturbs the draws (the streams
+        // are named by class/index with the seed as the key).
+        auto c = func::makeClassProfile(cls, 43, 3);
+        auto d = func::makeClassProfile(cls, 42, 4);
+        EXPECT_TRUE(a.workingSet != c.workingSet ||
+                    a.warmExec != c.warmExec ||
+                    a.uniqueFrac != c.uniqueFrac);
+        EXPECT_TRUE(a.workingSet != d.workingSet ||
+                    a.warmExec != d.warmExec ||
+                    a.uniqueFrac != d.uniqueFrac);
+    }
+}
+
+TEST(FunctionClasses, GenericCyclesFunctionBenchPoolUnchanged)
+{
+    const auto &pool = func::functionBench();
+    ASSERT_FALSE(pool.empty());
+    for (int idx = 0; idx < 2 * static_cast<int>(pool.size()); ++idx) {
+        const auto &expect =
+            pool[static_cast<size_t>(idx) % pool.size()];
+        // Generic ignores the seed entirely.
+        for (std::uint64_t seed : {0ull, 42ull, 0xa27eull}) {
+            auto p = func::makeClassProfile(func::FunctionClass::Generic,
+                                            seed, idx);
+            EXPECT_EQ(p.name, expect.name);
+            EXPECT_EQ(p.workingSet, expect.workingSet);
+            EXPECT_EQ(p.warmExec, expect.warmExec);
+            EXPECT_EQ(p.inputSize, expect.inputSize);
+            EXPECT_EQ(p.cls, func::FunctionClass::Generic);
+        }
+    }
+}
 
 } // namespace
 } // namespace vhive::core
