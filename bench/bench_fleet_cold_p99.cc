@@ -29,8 +29,18 @@
  * column compares every cell against its threads=1 reference — while
  * wall_s and Mev/s show the parallel speedup. VHIVE_FLEET_MAX_THREADS
  * caps the thread axis (CI runners have few cores).
+ *
+ * Part 3 sweeps the parallel shared data plane at fleet scale:
+ * workers {64, 256} x store shards {1, 4, 16} x smooth-vs-bursty
+ * TrafficEngine arrivals (diurnal modulation + a tenant flash crowd +
+ * a deploy storm), DedupReap staging through the store domain with
+ * overlap-aware chunk placement. The contention columns (st_waits,
+ * peakQ) show the single store choking during the crowd and the
+ * sharded store absorbing it. 64-worker cells always run (CI floors
+ * gate them); 256 needs VHIVE_FLEET_MAX_WORKERS >= 256.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -118,6 +128,59 @@ runParallelCell(int workers, int threads)
     cfg.workload.minInterarrival = sec(2);
     cfg.workload.maxInterarrival = sec(120);
     cfg.workload.horizon = sec(600);
+
+    cluster::ParallelFleet fleet(cfg);
+    ParallelCell c;
+    auto host0 = std::chrono::steady_clock::now();
+    c.fleet = fleet.run();
+    auto host1 = std::chrono::steady_clock::now();
+    c.wall_s = std::chrono::duration<double>(host1 - host0).count();
+    c.events_per_sec =
+        c.wall_s > 0 ? static_cast<double>(c.fleet.eventsProcessed) /
+                           c.wall_s
+                     : 0;
+    return c;
+}
+
+ParallelCell
+runShardCell(int workers, int threads, int shards, bool bursty)
+{
+    cluster::ParallelFleetConfig cfg;
+    cfg.workers = workers;
+    cfg.simThreads = threads;
+    cfg.coldStartMode = core::ColdStartMode::DedupReap;
+    cfg.sharedSnapshots = true;
+    cfg.sharedStoreShards = shards;
+    cfg.chunkPlacement = net::ChunkPlacementPolicy::OverlapAware;
+    // Warm-first spreads invocations, so cold starts land away from
+    // the home worker and genuinely pull through the shared store.
+    cfg.routingPolicy = cluster::RoutingPolicyKind::WarmFirst;
+    cfg.keepAlive = sec(60);
+
+    cluster::TrafficConfig tc;
+    tc.functions = 64;
+    tc.tenants = 8;
+    tc.aggregateRps = 12.0;
+    tc.horizon = sec(300);
+    if (bursty) {
+        tc.diurnal.amplitude = 0.4;
+        tc.diurnal.period = sec(300);
+        cluster::BurstSpec crowd;
+        crowd.kind = cluster::BurstKind::FlashCrowd;
+        crowd.tenant = 2;
+        crowd.start = sec(120);
+        crowd.duration = sec(30);
+        crowd.multiplier = 12.0;
+        tc.bursts.push_back(crowd);
+        cluster::BurstSpec storm;
+        storm.kind = cluster::BurstKind::DeployStorm;
+        storm.fraction = 0.25;
+        storm.start = sec(200);
+        storm.duration = sec(20);
+        storm.multiplier = 6.0;
+        tc.bursts.push_back(storm);
+    }
+    cfg.traffic = tc;
 
     cluster::ParallelFleet fleet(cfg);
     ParallelCell c;
@@ -248,6 +311,73 @@ main()
         }
     }
     pt.print();
+
+    bench::banner("Parallel shared data plane: workers x store "
+                  "shards x traffic shape (DedupReap staging, "
+                  "overlap-aware placement)");
+
+    int shard_threads = std::min(4, max_threads);
+    Table st({"workers", "shards", "traffic", "inv", "cold", "p99_ms",
+              "st_waits", "peakQ", "fetches", "up_MiB", "saved_MiB",
+              "wall_s", "Mev/s"});
+    for (int workers : {64, 256}) {
+        // 64-worker cells always run — the CI perf floors gate them;
+        // 256 is the planet-scale point, opt-in via the env cap.
+        if (workers > 64 && workers > max_workers)
+            continue;
+        for (int shards : {1, 4, 16}) {
+            for (bool bursty : {false, true}) {
+                ParallelCell c = runShardCell(workers, shard_threads,
+                                              shards, bursty);
+                const auto &f = c.fleet;
+                const char *shape = bursty ? "bursty" : "smooth";
+                std::string cell =
+                    "sworkers=" + std::to_string(workers) +
+                    "/shards=" + std::to_string(shards) +
+                    "/traffic=" + shape;
+                st.row()
+                    .cell(static_cast<std::int64_t>(workers))
+                    .cell(static_cast<std::int64_t>(shards))
+                    .cell(shape)
+                    .cell(f.invocations)
+                    .cell(f.coldStarts)
+                    .cell(f.coldP99(), 1)
+                    .cell(f.store.streamWaits)
+                    .cell(f.store.peakStreamQueue)
+                    .cell(f.remoteArtifactFetches)
+                    .cell(toMiB(f.stagedBytes), 1)
+                    .cell(toMiB(f.dedupSavedBytes), 1)
+                    .cell(c.wall_s, 2)
+                    .cell(c.events_per_sec / 1e6, 1);
+                json.row(cell, "cold_p99_ms", f.coldP99());
+                json.row(cell, "stream_waits",
+                         static_cast<double>(f.store.streamWaits));
+                json.row(cell, "peak_stream_queue",
+                         static_cast<double>(f.store.peakStreamQueue));
+                json.row(cell, "remote_fetches",
+                         static_cast<double>(f.remoteArtifactFetches));
+                json.row(cell, "staged_mib", toMiB(f.stagedBytes));
+                json.row(cell, "dedup_saved_mib",
+                         toMiB(f.dedupSavedBytes));
+                for (std::size_t s = 0; s < f.storeShards.size(); ++s)
+                    json.row(cell,
+                             "shard" + std::to_string(s) +
+                                 "_bytes_served",
+                             static_cast<double>(
+                                 f.storeShards[s].bytesServed));
+                json.row(cell, "wall_s", c.wall_s, c.events_per_sec);
+            }
+        }
+    }
+    st.print();
+
+    std::printf(
+        "\nOne store shard serializes the flash crowd's concurrent "
+        "cold-start fetches\nbehind its stream bound (st_waits, "
+        "peakQ); sharding multiplies the aggregate\nstream capacity "
+        "and overlap-aware placement keeps each function's chunks\n"
+        "co-located, so the same burst passes through without "
+        "queueing.\n");
 
     std::printf(
         "\nThe digest column fingerprints every simulated quantity "

@@ -50,8 +50,13 @@ Cluster::Cluster(sim::Simulation &sim, ClusterConfig config)
                   "mode (TieredReap, RemoteReap or DedupReap), got %s",
                   core::coldStartModeName(cfg.coldStartMode));
         }
+        VHIVE_ASSERT(cfg.sharedStoreShards >= 1);
+        net::ShardedStoreParams sp;
+        sp.shards = cfg.sharedStoreShards;
+        sp.shard = cfg.sharedStore;
+        sp.placement = cfg.chunkPlacement;
         _sharedStore =
-            std::make_unique<net::ObjectStore>(sim, cfg.sharedStore);
+            std::make_unique<net::ShardedObjectStore>(sim, sp);
     }
     for (int i = 0; i < cfg.workers; ++i) {
         core::WorkerConfig wc = cfg.worker;
@@ -311,6 +316,7 @@ Cluster::fleetStats() const
     }
     if (_sharedStore) {
         fs.store = _sharedStore->stats();
+        fs.storeShards = _sharedStore->shardStats();
     } else {
         for (const auto &w : workers)
             mergeStoreStats(fs.store, w->objectStore().stats());

@@ -27,6 +27,7 @@
 #include "core/options.hh"
 #include "core/worker.hh"
 #include "net/object_store.hh"
+#include "net/sharded_store.hh"
 #include "sim/simulation.hh"
 #include "sim/task.hh"
 #include "util/stats.hh"
@@ -79,6 +80,17 @@ struct ClusterConfig
 
     /** Parameters of the fleet-shared store (sharedSnapshots only). */
     net::ObjectStoreParams sharedStore = net::ObjectStoreParams::remote();
+
+    /**
+     * Shards behind the fleet-shared store (sharedSnapshots only).
+     * Each shard has its own stream bound and stats; 1 keeps the
+     * historical single-store behaviour bit-identical.
+     */
+    int sharedStoreShards = 1;
+
+    /** How chunk uploads spread across shards (DedupReap staging). */
+    net::ChunkPlacementPolicy chunkPlacement =
+        net::ChunkPlacementPolicy::Hash;
 
     /**
      * Cold starts torn down by an injected WorkerCrash fault are
@@ -197,7 +209,10 @@ class Cluster : private FleetView
     SnapshotRegistry *snapshotRegistry() { return _registry.get(); }
 
     /** The fleet-shared store; null unless sharedSnapshots. */
-    net::ObjectStore *sharedObjectStore() { return _sharedStore.get(); }
+    net::ShardedObjectStore *sharedObjectStore()
+    {
+        return _sharedStore.get();
+    }
 
     /**
      * Install @p plan on every fault hook point of the fleet, under
@@ -252,7 +267,7 @@ class Cluster : private FleetView
     ClusterConfig cfg;
     /** Fleet-shared object store; created before the workers that
      * borrow it (sharedSnapshots only). */
-    std::unique_ptr<net::ObjectStore> _sharedStore;
+    std::unique_ptr<net::ShardedObjectStore> _sharedStore;
     std::vector<std::unique_ptr<core::Worker>> workers;
     std::unique_ptr<SnapshotRegistry> _registry;
     std::map<std::string, Deployment> deployments;

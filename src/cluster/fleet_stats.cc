@@ -36,6 +36,8 @@ mergeStoreStats(net::ObjectStoreStats &a, const net::ObjectStoreStats &b)
     a.chunkPuts += b.chunkPuts;
     a.chunkBatches += b.chunkBatches;
     a.chunksServed += b.chunksServed;
+    a.requestRetries += b.requestRetries;
+    a.outageStalls += b.outageStalls;
 }
 
 } // namespace vhive::cluster

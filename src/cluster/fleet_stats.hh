@@ -65,6 +65,14 @@ struct FleetStats
      */
     net::ObjectStoreStats store{};
 
+    /**
+     * Per-shard rows of the shared store, in shard order (empty when
+     * snapshot sharing is off). The summed `store` field above and
+     * these rows agree by construction: mergeStoreStats over the rows
+     * reproduces the aggregate.
+     */
+    std::vector<net::ObjectStoreStats> storeShards;
+
     /** @name Snapshot-registry staging counters (shared mode only). */
     /// @{
     std::int64_t snapshotBuilds = 0;

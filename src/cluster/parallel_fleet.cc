@@ -19,6 +19,25 @@ fnvMix(std::uint64_t &h, std::uint64_t v)
     }
 }
 
+/** FNV-1a accumulation of one ObjectStoreStats row. */
+void
+fnvMixStats(std::uint64_t &h, const net::ObjectStoreStats &s)
+{
+    fnvMix(h, static_cast<std::uint64_t>(s.gets));
+    fnvMix(h, static_cast<std::uint64_t>(s.puts));
+    fnvMix(h, static_cast<std::uint64_t>(s.rangedGets));
+    fnvMix(h, static_cast<std::uint64_t>(s.bytesServed));
+    fnvMix(h, static_cast<std::uint64_t>(s.bytesStored));
+    fnvMix(h, static_cast<std::uint64_t>(s.chunkPuts));
+    fnvMix(h, static_cast<std::uint64_t>(s.chunkBatches));
+    fnvMix(h, static_cast<std::uint64_t>(s.chunksServed));
+    fnvMix(h, static_cast<std::uint64_t>(s.streamWaits));
+    fnvMix(h, static_cast<std::uint64_t>(s.streamWaitTime));
+    fnvMix(h, static_cast<std::uint64_t>(s.peakStreamQueue));
+    fnvMix(h, static_cast<std::uint64_t>(s.requestRetries));
+    fnvMix(h, static_cast<std::uint64_t>(s.outageStalls));
+}
+
 } // namespace
 
 std::uint64_t
@@ -32,6 +51,16 @@ ParallelFleetResult::digest() const
     fnvMix(h, static_cast<std::uint64_t>(eventsProcessed));
     fnvMix(h, static_cast<std::uint64_t>(windows));
     fnvMix(h, static_cast<std::uint64_t>(messages));
+    fnvMix(h, static_cast<std::uint64_t>(snapshotBuilds));
+    fnvMix(h, static_cast<std::uint64_t>(stagedBytes));
+    fnvMix(h, static_cast<std::uint64_t>(dedupSavedBytes));
+    fnvMix(h, static_cast<std::uint64_t>(chunksUploaded));
+    fnvMix(h, static_cast<std::uint64_t>(chunksDeduped));
+    fnvMix(h, static_cast<std::uint64_t>(remoteArtifactFetches));
+    fnvMixStats(h, store);
+    fnvMix(h, static_cast<std::uint64_t>(storeShards.size()));
+    for (const net::ObjectStoreStats &row : storeShards)
+        fnvMixStats(h, row);
     for (const Samples *s : {&e2eLatencyMs, &coldE2eMs, &warmE2eMs}) {
         fnvMix(h, static_cast<std::uint64_t>(s->count()));
         for (double v : s->values())
@@ -46,11 +75,17 @@ ParallelFleet::checkedConfig(ParallelFleetConfig config)
     // Runs in the member-init list, before the kernel's thread pool
     // is constructed: an unsupported configuration exits cleanly
     // instead of tearing down live simulation threads.
-    if (config.coldStartMode == core::ColdStartMode::RemoteReap ||
-        config.coldStartMode == core::ColdStartMode::DedupReap) {
-        fatal("ParallelFleet does not support registry-backed "
-              "cold-start modes yet (%s needs the shared "
-              "SnapshotRegistry; see ROADMAP)",
+    if (config.sharedStoreShards < 1)
+        fatal("ParallelFleet: sharedStoreShards must be >= 1 (got %d)",
+              config.sharedStoreShards);
+    if (config.sharedSnapshots &&
+        config.coldStartMode != core::ColdStartMode::TieredReap &&
+        config.coldStartMode != core::ColdStartMode::RemoteReap &&
+        config.coldStartMode != core::ColdStartMode::DedupReap) {
+        fatal("ParallelFleet sharedSnapshots requires a "
+              "remote-capable cold-start mode (TieredReap, "
+              "RemoteReap or DedupReap); %s keeps all artifacts "
+              "local and has nothing to stage",
               core::coldStartModeName(config.coldStartMode));
     }
     return config;
@@ -58,11 +93,22 @@ ParallelFleet::checkedConfig(ParallelFleetConfig config)
 
 ParallelFleet::ParallelFleet(ParallelFleetConfig config)
     : cfg(checkedConfig(std::move(config))),
-      kernel(cfg.workers + 1, cfg.simThreads)
+      kernel(cfg.workers + 1 + (cfg.sharedSnapshots ? 1 : 0),
+             cfg.simThreads)
 {
     VHIVE_ASSERT(cfg.workers >= 1);
 
-    mix = synthesizeAzureMix(cfg.workload);
+    if (cfg.traffic) {
+        // Traffic-driven mix: the engine's Zipf population, driven
+        // open-loop (meanInterarrival unused on this path).
+        trafficEng = std::make_unique<TrafficEngine>(*cfg.traffic);
+        mix.reserve(
+            static_cast<std::size_t>(trafficEng->functionCount()));
+        for (int i = 0; i < trafficEng->functionCount(); ++i)
+            mix.push_back(AzureMixEntry{trafficEng->profile(i), 0});
+    } else {
+        mix = synthesizeAzureMix(cfg.workload);
+    }
     for (std::size_t i = 0; i < mix.size(); ++i)
         fnIndex[mix[i].profile.name] = static_cast<int>(i);
 
@@ -71,14 +117,34 @@ ParallelFleet::ParallelFleet(ParallelFleetConfig config)
     mirrorInFlight.assign(static_cast<std::size_t>(cfg.workers), 0);
     activePolicy = &policies.policyFor(cfg.routingPolicy);
 
+    if (cfg.sharedSnapshots) {
+        net::ShardedStoreParams sp;
+        sp.shards = cfg.sharedStoreShards;
+        sp.shard = cfg.sharedStore;
+        sp.placement = cfg.chunkPlacement;
+        sharedStore = std::make_unique<net::ShardedObjectStore>(
+            kernel.sim(storeDomain()), sp);
+        if (!cfg.storeFaults.empty()) {
+            // The store domain draws its own deterministic fault
+            // stream (FaultPlan is not thread-safe across domains),
+            // under the same "store/shared[/<s>]" tags the sequential
+            // Cluster uses.
+            sharedFaults = std::make_unique<sim::FaultPlan>(
+                cfg.faultSeed +
+                static_cast<std::uint64_t>(cfg.workers));
+            for (const sim::FaultSpec &spec : cfg.storeFaults)
+                sharedFaults->add(spec);
+            sharedStore->setFaultPlan(sharedFaults.get(),
+                                      "store/shared");
+        }
+    }
+
     nodes.reserve(static_cast<std::size_t>(cfg.workers));
     for (int w = 0; w < cfg.workers; ++w) {
         auto node = std::make_unique<WorkerNode>();
         core::WorkerConfig wc = cfg.worker;
         // Same per-worker seed derivation as cluster::Cluster.
         wc.seed = cfg.worker.seed + static_cast<std::uint64_t>(w);
-        node->worker = std::make_unique<core::Worker>(
-            kernel.sim(1 + w), wc);
         node->fromControl =
             std::make_unique<sim::CrossPort<WorkerMsg>>(
                 kernel, kernel.domain(0), kernel.domain(1 + w),
@@ -87,6 +153,25 @@ ParallelFleet::ParallelFleet(ParallelFleetConfig config)
             std::make_unique<sim::CrossPort<ControlMsg>>(
                 kernel, kernel.domain(1 + w), kernel.domain(0),
                 cfg.fabricHop);
+        if (cfg.sharedSnapshots) {
+            // Store ports + client must exist before the Worker: the
+            // worker's loaders capture the client as their artifact
+            // store.
+            node->toStore =
+                std::make_unique<sim::CrossPort<StoreMsg>>(
+                    kernel, kernel.domain(1 + w),
+                    kernel.domain(storeDomain()), cfg.fabricHop);
+            node->fromStore =
+                std::make_unique<sim::CrossPort<StoreReply>>(
+                    kernel, kernel.domain(storeDomain()),
+                    kernel.domain(1 + w), cfg.fabricHop);
+            node->storeClient =
+                std::make_unique<StorePortClient>(*this, w);
+            node->allAdopted =
+                std::make_unique<sim::Gate>(kernel.sim(1 + w));
+        }
+        node->worker = std::make_unique<core::Worker>(
+            kernel.sim(1 + w), wc, node->storeClient.get());
         node->lastUsed.assign(mix.size(), 0);
         if (!cfg.storeFaults.empty()) {
             // One plan per domain (FaultPlan is not thread-safe),
@@ -140,14 +225,285 @@ ParallelFleet::MirrorView::residentBytes(int) const
 }
 
 bool
-ParallelFleet::MirrorView::artifactsLocal(int, const std::string &) const
+ParallelFleet::MirrorView::artifactsLocal(
+    int worker, const std::string &name) const
 {
-    // No shared registry: snapshots are prepared on every worker, so
-    // artifacts are always local — same as the non-shared Cluster.
-    return true;
+    // Without the shared registry snapshots are prepared on every
+    // worker, so artifacts are always local. With it, only the home
+    // worker built locally; everyone else pulls through the store on
+    // first cold start — the one-hop-stale approximation a mirrored
+    // front-end would hold (it cannot see later re-localization).
+    return !fleet.cfg.sharedSnapshots ||
+           worker == fleet.homeWorkerOf(name);
+}
+
+// ----------------------------------------------- store port client
+
+sim::Task<void>
+ParallelFleet::StorePortClient::get(Bytes bytes, net::PlacementKey key)
+{
+    StoreMsg m;
+    m.op = StoreMsg::Get;
+    m.a = bytes;
+    m.key = key;
+    co_await fleet.storeOp(w, m);
+}
+
+sim::Task<void>
+ParallelFleet::StorePortClient::getRange(Bytes offset, Bytes bytes,
+                                         net::PlacementKey key)
+{
+    StoreMsg m;
+    m.op = StoreMsg::GetRange;
+    m.a = offset;
+    m.b = bytes;
+    m.key = key;
+    co_await fleet.storeOp(w, m);
+}
+
+sim::Task<void>
+ParallelFleet::StorePortClient::put(Bytes bytes, net::PlacementKey key)
+{
+    StoreMsg m;
+    m.op = StoreMsg::Put;
+    m.a = bytes;
+    m.key = key;
+    co_await fleet.storeOp(w, m);
+}
+
+sim::Task<void>
+ParallelFleet::StorePortClient::putChunk(Bytes stored_bytes,
+                                         net::PlacementKey key)
+{
+    StoreMsg m;
+    m.op = StoreMsg::PutChunk;
+    m.a = stored_bytes;
+    m.key = key;
+    co_await fleet.storeOp(w, m);
+}
+
+sim::Task<void>
+ParallelFleet::StorePortClient::getChunks(std::int64_t chunks,
+                                          Bytes stored_bytes,
+                                          net::PlacementKey key)
+{
+    StoreMsg m;
+    m.op = StoreMsg::GetChunks;
+    m.chunks = chunks;
+    m.b = stored_bytes;
+    m.key = key;
+    co_await fleet.storeOp(w, m);
+}
+
+int
+ParallelFleet::StorePortClient::shardOf(net::PlacementKey key) const
+{
+    const WorkerNode &node =
+        *fleet.nodes[static_cast<std::size_t>(w)];
+    auto it = node.chunkHomes.find(key.content);
+    if (it != node.chunkHomes.end())
+        return it->second;
+    return net::hashShardOf(key.content, fleet.cfg.sharedStoreShards);
+}
+
+int
+ParallelFleet::StorePortClient::shardCount() const
+{
+    return fleet.cfg.sharedStoreShards;
+}
+
+sim::Task<void>
+ParallelFleet::storeOp(int w, StoreMsg msg)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    msg.kind = StoreMsg::Op;
+    msg.reqId = node.nextStoreReq++;
+    sim::Gate gate(kernel.sim(1 + w));
+    node.storePending.emplace(msg.reqId, &gate);
+    node.toStore->send(msg);
+    co_await gate.wait();
+    node.storePending.erase(msg.reqId);
+}
+
+// ---------------------------------------------------- store domain
+
+sim::Task<void>
+ParallelFleet::storePump(int w)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    sim::Simulation &ssim = kernel.sim(storeDomain());
+
+    while (true) {
+        StoreMsg msg = co_await node.toStore->recv();
+        switch (msg.kind) {
+          case StoreMsg::Op:
+            // Served on its own task so one worker's in-flight store
+            // requests overlap (reqIds disambiguate the replies).
+            ssim.spawn(storeServe(w, msg));
+            break;
+          case StoreMsg::Stage:
+            ssim.spawn(storeStage(msg));
+            break;
+          case StoreMsg::Bye: {
+            StoreReply r;
+            r.kind = StoreReply::Bye;
+            node.fromStore->send(r);
+            co_return;
+          }
+        }
+    }
+}
+
+sim::Task<void>
+ParallelFleet::storeServe(int w, StoreMsg msg)
+{
+    switch (msg.op) {
+      case StoreMsg::Get:
+        co_await sharedStore->get(msg.a, msg.key);
+        break;
+      case StoreMsg::GetRange:
+        co_await sharedStore->getRange(msg.a, msg.b, msg.key);
+        break;
+      case StoreMsg::Put:
+        co_await sharedStore->put(msg.a, msg.key);
+        break;
+      case StoreMsg::PutChunk:
+        co_await sharedStore->putChunk(msg.a, msg.key);
+        break;
+      case StoreMsg::GetChunks:
+        co_await sharedStore->getChunks(msg.chunks, msg.b, msg.key);
+        break;
+    }
+    StoreReply r;
+    r.kind = StoreReply::OpDone;
+    r.reqId = msg.reqId;
+    nodes[static_cast<std::size_t>(w)]->fromStore->send(r);
+}
+
+sim::Task<void>
+ParallelFleet::storeStage(StoreMsg msg)
+{
+    const StagePayload &p = *msg.stage;
+    const std::string &name =
+        mix[static_cast<std::size_t>(p.fnIdx)].profile.name;
+    std::uint64_t scope = net::placementScope(name);
+
+    auto adopt = std::make_shared<AdoptPayload>();
+    adopt->fnIdx = p.fnIdx;
+    adopt->record = p.record;
+    adopt->manifests = p.manifests;
+
+    ++stagingBuilds;
+    if (p.manifests) {
+        // Chunked staging, mirroring SnapshotRegistry::ensureStaged:
+        // upload only chunks no earlier function staged; duplicates
+        // are referenced in the fleet index and never cross the wire
+        // again. Every chunk's placement rides the Adopt broadcast so
+        // workers group future batches by the true owning shard.
+        for (const storage::ChunkManifest *man :
+             {&p.manifests->vmmState, &p.manifests->ws}) {
+            for (const storage::ChunkRef &c : man->chunks) {
+                if (fleetChunks.addRef(c)) {
+                    co_await sharedStore->putChunk(c.storedBytes,
+                                                   {c.hash, scope});
+                    stagingStagedBytes += c.storedBytes;
+                    ++stagingChunksUploaded;
+                } else {
+                    stagingDedupSaved += c.storedBytes;
+                    ++stagingChunksDeduped;
+                }
+                adopt->placements.emplace_back(
+                    c.hash, sharedStore->shardOf({c.hash, scope}));
+            }
+        }
+    } else {
+        // Blob staging: one put() of VMM state + WS file serves the
+        // whole fleet.
+        co_await sharedStore->put(p.blobBytes, {scope, scope});
+        stagingStagedBytes += p.blobBytes;
+    }
+
+    StoreReply r;
+    r.kind = StoreReply::Adopt;
+    r.adopt = adopt;
+    for (auto &node : nodes)
+        node->fromStore->send(r);
 }
 
 // --------------------------------------------------- worker domain
+
+sim::Task<void>
+ParallelFleet::stageHomeFunctions(int w)
+{
+    // Build-once staging: this worker prepares, records and ships
+    // only the functions whose LocalityHash ring home it is; every
+    // other function arrives as Adopt metadata from the store domain.
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    auto &orch = node.worker->orchestrator();
+
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        const std::string &name = mix[i].profile.name;
+        if (homeWorkerOf(name) != w)
+            continue;
+        co_await orch.prepareSnapshot(name);
+        if (!orch.hasRecord(name)) {
+            core::InvokeOptions opts;
+            opts.forceCold = true;
+            (void)co_await orch.invoke(name, cfg.coldStartMode,
+                                       opts);
+        }
+        auto payload = std::make_shared<StagePayload>();
+        payload->fnIdx = static_cast<int>(i);
+        payload->record = orch.record(name);
+        if (chunkedMode()) {
+            (void)orch.buildManifests(name);
+            payload->manifests = orch.manifests(name);
+        } else {
+            payload->blobBytes = core::stagedArtifactBytes(
+                node.worker->config().vmm.vmmStateSize,
+                orch.record(name));
+        }
+        StoreMsg m;
+        m.kind = StoreMsg::Stage;
+        m.stage = std::move(payload);
+        node.toStore->send(m);
+    }
+}
+
+sim::Task<void>
+ParallelFleet::workerStorePump(int w)
+{
+    WorkerNode &node = *nodes[static_cast<std::size_t>(w)];
+    auto &orch = node.worker->orchestrator();
+
+    while (true) {
+        StoreReply r = co_await node.fromStore->recv();
+        switch (r.kind) {
+          case StoreReply::OpDone: {
+            auto it = node.storePending.find(r.reqId);
+            VHIVE_ASSERT(it != node.storePending.end());
+            it->second->openGate();
+            break;
+          }
+          case StoreReply::Adopt: {
+            // Placements first: any cold start racing the adoption
+            // must already group its batches by the true shard.
+            for (const auto &[hash, shard] : r.adopt->placements)
+                node.chunkHomes.emplace(hash, shard);
+            orch.adoptStagedArtifacts(
+                mix[static_cast<std::size_t>(r.adopt->fnIdx)]
+                    .profile.name,
+                r.adopt->record, r.adopt->manifests);
+            if (++node.adopted ==
+                static_cast<std::int64_t>(mix.size()))
+                node.allAdopted->openGate();
+            break;
+          }
+          case StoreReply::Bye:
+            co_return;
+        }
+    }
+}
 
 sim::Task<void>
 ParallelFleet::workerMain(int w)
@@ -158,21 +514,32 @@ ParallelFleet::workerMain(int w)
 
     for (const auto &entry : mix)
         orch.registerFunction(entry.profile);
-    for (const auto &entry : mix)
-        co_await orch.prepareSnapshot(entry.profile.name);
 
-    bool mode_needs_record = orch.loaders()
-                                 .loaderFor(cfg.coldStartMode)
-                                 .needsRecord();
-    if (cfg.workload.preRecordWorkingSets && mode_needs_record) {
-        // One record-phase invocation per function, off the measured
-        // window — mirrors AzureWorkload::run's pre-record pass.
-        for (const auto &entry : mix) {
-            orch.flushHostCaches();
-            core::InvokeOptions opts;
-            opts.forceCold = true;
-            (void)co_await orch.invoke(entry.profile.name,
-                                       cfg.coldStartMode, opts);
+    if (cfg.sharedSnapshots) {
+        wsim.spawn(workerStorePump(w));
+        co_await stageHomeFunctions(w);
+        // Staging already recorded each function once on its home
+        // worker (the pre-record pass is redundant here); Ready waits
+        // for the whole population so traffic never races adoption.
+        co_await node.allAdopted->wait();
+    } else {
+        for (const auto &entry : mix)
+            co_await orch.prepareSnapshot(entry.profile.name);
+
+        bool mode_needs_record = orch.loaders()
+                                     .loaderFor(cfg.coldStartMode)
+                                     .needsRecord();
+        if (cfg.workload.preRecordWorkingSets && mode_needs_record) {
+            // One record-phase invocation per function, off the
+            // measured window — mirrors AzureWorkload::run's
+            // pre-record pass.
+            for (const auto &entry : mix) {
+                orch.flushHostCaches();
+                core::InvokeOptions opts;
+                opts.forceCold = true;
+                (void)co_await orch.invoke(entry.profile.name,
+                                           cfg.coldStartMode, opts);
+            }
         }
     }
 
@@ -192,6 +559,11 @@ ParallelFleet::workerMain(int w)
     // resolved, so the worker is necessarily drained here.
     VHIVE_ASSERT(node.liveInvokes == 0);
     node.stopping = true;
+    if (cfg.sharedSnapshots) {
+        StoreMsg bye;
+        bye.kind = StoreMsg::Bye;
+        node.toStore->send(bye);
+    }
     node.toControl->send(ControlMsg{ControlMsg::Bye, 0, 0, false,
                                     0, 0});
 }
@@ -207,6 +579,19 @@ ParallelFleet::workerInvoke(int w, WorkerMsg msg)
     core::InvokeOptions opts;
     opts.keepWarm = true;
     auto bd = co_await orch.invoke(name, cfg.coldStartMode, opts);
+
+    if (cfg.sharedSnapshots && bd.cold) {
+        // Same detection as Cluster::invoke: RemoteReap always
+        // re-fetches; tiered chains report which tier actually served
+        // the WS bytes.
+        bool fetched =
+            cfg.coldStartMode == core::ColdStartMode::RemoteReap;
+        for (const auto &t : bd.tierHits)
+            if (t.tier == "remote")
+                fetched = t.bytes > 0;
+        if (fetched)
+            ++node.remoteFetches;
+    }
 
     node.lastUsed[static_cast<std::size_t>(msg.fnIdx)] =
         kernel.sim(1 + w).now();
@@ -285,8 +670,11 @@ ParallelFleet::replyPump(int w, sim::Latch *ready, sim::Latch *byes)
                 ++result.warmHits;
                 result.warmE2eMs.add(toMs(e2e));
             }
-            pr.done->openGate();
+            if (pr.done != nullptr)
+                pr.done->openGate();
             pending.erase(it);
+            if (drainGate && pending.empty())
+                drainGate->openGate();
             break;
           }
           case ControlMsg::ScaledDown:
@@ -299,6 +687,40 @@ ParallelFleet::replyPump(int w, sim::Latch *ready, sim::Latch *byes)
             co_return;
         }
     }
+}
+
+std::int64_t
+ParallelFleet::dispatch(int fn_idx, sim::Gate *done)
+{
+    sim::Simulation &csim = kernel.sim(0);
+    const std::string &name =
+        mix[static_cast<std::size_t>(fn_idx)].profile.name;
+
+    int widx = activePolicy->route(RouteContext{name, view});
+    VHIVE_ASSERT(widx >= 0 && widx < cfg.workers);
+
+    std::int64_t id = nextReqId++;
+    PendingReq pr;
+    pr.t0 = csim.now();
+    pr.fnIdx = fn_idx;
+    pr.worker = widx;
+    pr.done = done;
+    pending.emplace(id, pr);
+
+    // Optimistically claim the warm instance the route expects to
+    // hit; the worker's Done reply re-syncs the true count.
+    auto &idle = mirrorIdle[static_cast<std::size_t>(widx)]
+                           [static_cast<std::size_t>(fn_idx)];
+    if (idle > 0)
+        --idle;
+    ++mirrorInFlight[static_cast<std::size_t>(widx)];
+
+    WorkerMsg msg;
+    msg.kind = WorkerMsg::Invoke;
+    msg.reqId = id;
+    msg.fnIdx = fn_idx;
+    nodes[static_cast<std::size_t>(widx)]->fromControl->send(msg);
+    return id;
 }
 
 sim::Task<void>
@@ -319,34 +741,33 @@ ParallelFleet::arrivalLoop(int fn_idx, sim::Latch *done)
             break;
         co_await csim.delay(gap);
 
-        int widx = activePolicy->route(
-            RouteContext{entry.profile.name, view});
-        VHIVE_ASSERT(widx >= 0 && widx < cfg.workers);
-
-        std::int64_t id = nextReqId++;
         sim::Gate gate(csim);
-        PendingReq pr;
-        pr.t0 = csim.now();
-        pr.fnIdx = fn_idx;
-        pr.worker = widx;
-        pr.done = &gate;
-        pending.emplace(id, pr);
-
-        // Optimistically claim the warm instance the route expects to
-        // hit; the worker's Done reply re-syncs the true count.
-        auto &idle = mirrorIdle[static_cast<std::size_t>(widx)]
-                               [static_cast<std::size_t>(fn_idx)];
-        if (idle > 0)
-            --idle;
-        ++mirrorInFlight[static_cast<std::size_t>(widx)];
-
-        WorkerMsg msg;
-        msg.kind = WorkerMsg::Invoke;
-        msg.reqId = id;
-        msg.fnIdx = fn_idx;
-        nodes[static_cast<std::size_t>(widx)]->fromControl->send(msg);
-
+        (void)dispatch(fn_idx, &gate);
         co_await gate.wait(); // closed loop: next draw after reply
+    }
+    done->arrive();
+}
+
+sim::Task<void>
+ParallelFleet::trafficArrivalLoop(int fn_idx, sim::Latch *done)
+{
+    // Open loop: arrivals fire on the engine's schedule whether or
+    // not earlier invocations completed, so burst events genuinely
+    // pile onto the fleet (a closed loop would self-throttle exactly
+    // when contention matters). Same stream names as TrafficWorkload.
+    sim::Simulation &csim = kernel.sim(0);
+    const std::string &name =
+        mix[static_cast<std::size_t>(fn_idx)].profile.name;
+    Rng local(trafficEng->config().seed, "traffic-arrivals/" + name);
+    Time start = csim.now();
+    Duration t = 0;
+
+    while (true) {
+        t = trafficEng->nextArrival(fn_idx, t, local);
+        if (t >= trafficEng->config().horizon)
+            break;
+        co_await csim.delay(start + t - csim.now());
+        (void)dispatch(fn_idx, nullptr);
     }
     done->arrive();
 }
@@ -364,8 +785,18 @@ ParallelFleet::controlMain()
 
     sim::Latch done(csim, static_cast<std::int64_t>(mix.size()));
     for (std::size_t fn = 0; fn < mix.size(); ++fn)
-        csim.spawn(arrivalLoop(static_cast<int>(fn), &done));
+        csim.spawn(trafficEng
+                       ? trafficArrivalLoop(static_cast<int>(fn),
+                                            &done)
+                       : arrivalLoop(static_cast<int>(fn), &done));
     co_await done.wait();
+
+    if (!pending.empty()) {
+        // Open-loop stragglers: wait for every in-flight request's
+        // Done before asking workers to shut down.
+        drainGate = std::make_unique<sim::Gate>(csim);
+        co_await drainGate->wait();
+    }
 
     for (auto &node : nodes)
         node->fromControl->send(
@@ -378,6 +809,9 @@ ParallelFleet::run()
 {
     for (int w = 0; w < cfg.workers; ++w)
         kernel.sim(1 + w).spawn(workerMain(w));
+    if (cfg.sharedSnapshots)
+        for (int w = 0; w < cfg.workers; ++w)
+            kernel.sim(storeDomain()).spawn(storePump(w));
     kernel.sim(0).spawn(controlMain());
 
     kernel.run();
@@ -387,6 +821,17 @@ ParallelFleet::run()
     result.messages = kernel.stats().messages;
     for (const auto &node : nodes)
         result.scaleDowns += node->scaleDowns;
+    if (cfg.sharedSnapshots) {
+        result.snapshotBuilds = stagingBuilds;
+        result.stagedBytes = stagingStagedBytes;
+        result.dedupSavedBytes = stagingDedupSaved;
+        result.chunksUploaded = stagingChunksUploaded;
+        result.chunksDeduped = stagingChunksDeduped;
+        for (const auto &node : nodes)
+            result.remoteArtifactFetches += node->remoteFetches;
+        result.store = sharedStore->stats();
+        result.storeShards = sharedStore->shardStats();
+    }
     return result;
 }
 

@@ -24,11 +24,30 @@
  * bit-identical across thread counts (threads = 1 is the reference),
  * which tests/test_parallel.cc locks with digest().
  *
- * Restrictions: cold-start modes requiring the shared SnapshotRegistry
- * (RemoteReap/DedupReap staging) are rejected — the registry is a
- * cross-worker shared object the port model does not cover yet (see
- * ROADMAP). Snapshots are prepared per worker, as the non-shared
- * Cluster does.
+ * Shared data plane (sharedSnapshots): the fleet-shared
+ * SnapshotRegistry semantics and the artifact ObjectStore run in their
+ * own kernel domain (index workers + 1). Workers reach the store
+ * through typed request/reply CrossPorts: a per-worker StorePortClient
+ * implements net::ArtifactStore by shipping each operation to the
+ * store domain and waiting for the reply, so loaders and page sources
+ * work unchanged. Staging is build-once: each function's home worker
+ * (same ring hash as LocalityHashPolicy) boots, records and ships a
+ * Stage message; the store domain uploads (chunk-deduplicated under
+ * DedupReap, sharded by net::ShardedObjectStore) and broadcasts Adopt
+ * metadata — including chunk shard placements — to every worker.
+ * Workers signal Ready only after adopting the whole population, so
+ * traffic never races staging. All of it flows through ports, so
+ * digests stay bit-identical across sim thread counts.
+ *
+ * Without sharedSnapshots every mode — including RemoteReap and
+ * DedupReap — runs per-worker (each worker stages into its own store,
+ * domain-confined), as the non-shared Cluster does.
+ *
+ * Traffic: cfg.traffic switches arrivals from the closed-loop Azure
+ * mix to the open-loop TrafficEngine (Zipf populations, diurnal
+ * modulation, burst events). Open-loop arrivals do not wait for
+ * completions, so flash crowds genuinely pile onto the shared store;
+ * the control plane drains in-flight requests before shutdown.
  */
 
 #ifndef VHIVE_CLUSTER_PARALLEL_FLEET_HH
@@ -36,17 +55,23 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/azure_workload.hh"
 #include "cluster/routing_policy.hh"
+#include "cluster/traffic.hh"
 #include "core/worker.hh"
+#include "core/ws_file.hh"
 #include "net/rpc.hh"
+#include "net/sharded_store.hh"
 #include "sim/fault.hh"
 #include "sim/parallel.hh"
+#include "storage/chunk_store.hh"
 #include "util/stats.hh"
+#include "vmm/snapshot.hh"
 
 namespace vhive::cluster {
 
@@ -62,7 +87,7 @@ struct ParallelFleetConfig
     /** Per-worker host configuration. */
     core::WorkerConfig worker{};
 
-    /** Cold-start strategy (registry-free modes only). */
+    /** Cold-start strategy (any mode; see sharedSnapshots). */
     core::ColdStartMode coldStartMode = core::ColdStartMode::Reap;
 
     /** Idle time after which instances scale to zero. */
@@ -74,8 +99,36 @@ struct ParallelFleetConfig
     /** Front-end routing strategy. */
     RoutingPolicyKind routingPolicy = RoutingPolicyKind::WarmFirst;
 
-    /** The Azure mix to synthesize and drive. */
+    /** The Azure mix to synthesize and drive (closed loop). */
     AzureWorkloadConfig workload{};
+
+    /**
+     * When set, arrivals come from the TrafficEngine instead of the
+     * Azure mix: the engine's profiles are deployed and driven
+     * open-loop (burst events overlap in flight). The workload field
+     * above is ignored except for preRecordWorkingSets.
+     */
+    std::optional<TrafficConfig> traffic;
+
+    /**
+     * Fleet-shared staging on the parallel kernel: the snapshot
+     * registry + artifact store run in their own domain and every
+     * worker stages/fetches through request/reply ports. Requires a
+     * remote-capable cold-start mode (TieredReap, RemoteReap or
+     * DedupReap). Off (default): per-worker staging, bit-identical to
+     * the historical behaviour (and no extra domain).
+     */
+    bool sharedSnapshots = false;
+
+    /** Per-shard parameters of the shared store (sharedSnapshots). */
+    net::ObjectStoreParams sharedStore = net::ObjectStoreParams::remote();
+
+    /** Shards behind the shared store (sharedSnapshots; >= 1). */
+    int sharedStoreShards = 1;
+
+    /** Chunk-placement policy across shards (DedupReap staging). */
+    net::ChunkPlacementPolicy chunkPlacement =
+        net::ChunkPlacementPolicy::Hash;
 
     /**
      * Control-plane <-> worker fabric latency: the per-direction hop
@@ -113,6 +166,30 @@ struct ParallelFleetResult
     std::int64_t eventsProcessed = 0;
     std::int64_t windows = 0;
     std::int64_t messages = 0;
+
+    /** @name Shared data plane (sharedSnapshots runs; else zero). */
+    /// @{
+
+    /** Functions staged through the store domain (one build each). */
+    std::int64_t snapshotBuilds = 0;
+
+    /** Bytes uploaded into the shared store by staging. */
+    Bytes stagedBytes = 0;
+
+    /** Upload bytes saved by fleet-wide chunk dedup (DedupReap). */
+    Bytes dedupSavedBytes = 0;
+
+    /** Chunks uploaded / referenced-without-upload by staging. */
+    std::int64_t chunksUploaded = 0;
+    std::int64_t chunksDeduped = 0;
+
+    /** Cold starts that pulled artifact bytes through the store. */
+    std::int64_t remoteArtifactFetches = 0;
+
+    /** Shared-store traffic, aggregated and per shard. */
+    net::ObjectStoreStats store{};
+    std::vector<net::ObjectStoreStats> storeShards;
+    /// @}
 
     double
     coldFraction() const
@@ -182,11 +259,118 @@ class ParallelFleet
         std::int64_t stopped = 0;
     };
 
+    /** Staged artifacts shipped from a home worker to the store. */
+    struct StagePayload {
+        int fnIdx = 0;
+        core::WorkingSetRecord record;
+
+        /** Chunk manifests (DedupReap); null for blob staging. */
+        std::shared_ptr<const vmm::SnapshotManifests> manifests;
+
+        /** Blob size to put() when not chunked. */
+        Bytes blobBytes = 0;
+    };
+
+    /** Worker -> store-domain requests. */
+    struct StoreMsg {
+        enum Kind { Op, Stage, Bye } kind = Op;
+        enum OpKind { Get, GetRange, Put, PutChunk, GetChunks } op = Get;
+        std::int64_t reqId = 0;
+        Bytes a = 0; ///< bytes (Get/Put/PutChunk), offset (GetRange)
+        Bytes b = 0; ///< bytes (GetRange), stored bytes (GetChunks)
+        std::int64_t chunks = 0;
+        net::PlacementKey key{};
+        std::shared_ptr<StagePayload> stage;
+    };
+
+    /** Staged metadata the store domain fans out to every worker. */
+    struct AdoptPayload {
+        int fnIdx = 0;
+        core::WorkingSetRecord record;
+        std::shared_ptr<const vmm::SnapshotManifests> manifests;
+
+        /** Chunk shard placements (content hash -> shard). */
+        std::vector<std::pair<std::uint64_t, int>> placements;
+    };
+
+    /** Store-domain -> worker replies. */
+    struct StoreReply {
+        enum Kind { OpDone, Adopt, Bye } kind = OpDone;
+        std::int64_t reqId = 0;
+        std::shared_ptr<AdoptPayload> adopt;
+    };
+
+    struct WorkerNode;
+
+    /**
+     * The worker-side face of the shared store: a net::ArtifactStore
+     * whose five operations each travel as a StoreMsg over the
+     * worker's toStore port and suspend until the store domain's
+     * OpDone reply — so loaders and page sources use the fleet store
+     * exactly like a local one, paying two fabric hops per request.
+     */
+    class StorePortClient final : public net::ArtifactStore
+    {
+      public:
+        StorePortClient(ParallelFleet &fleet, int w)
+            : fleet(fleet), w(w)
+        {
+        }
+
+        sim::Task<void> get(Bytes bytes,
+                            net::PlacementKey key = {}) override;
+        sim::Task<void> getRange(Bytes offset, Bytes bytes,
+                                 net::PlacementKey key = {}) override;
+        sim::Task<void> put(Bytes bytes,
+                            net::PlacementKey key = {}) override;
+        sim::Task<void> putChunk(Bytes stored_bytes,
+                                 net::PlacementKey key = {}) override;
+        sim::Task<void> getChunks(std::int64_t chunks,
+                                  Bytes stored_bytes,
+                                  net::PlacementKey key = {}) override;
+
+        /**
+         * Mirrors the store domain's routing from the worker side:
+         * adopted placements first (OverlapAware truth), content hash
+         * otherwise — so ChunkPageSource groups batches per shard
+         * without a round trip.
+         */
+        int shardOf(net::PlacementKey key) const override;
+        int shardCount() const override;
+
+      private:
+        ParallelFleet &fleet;
+        int w;
+    };
+
     /** One worker domain: the host plus its message loops. */
     struct WorkerNode {
-        std::unique_ptr<core::Worker> worker;
         std::unique_ptr<sim::CrossPort<WorkerMsg>> fromControl;
         std::unique_ptr<sim::CrossPort<ControlMsg>> toControl;
+
+        /** @name Shared data plane (sharedSnapshots only). */
+        /// @{
+        std::unique_ptr<sim::CrossPort<StoreMsg>> toStore;
+        std::unique_ptr<sim::CrossPort<StoreReply>> fromStore;
+        std::unique_ptr<StorePortClient> storeClient;
+
+        /** Gates of in-flight store ops, by request id. */
+        std::unordered_map<std::int64_t, sim::Gate *> storePending;
+        std::int64_t nextStoreReq = 0;
+
+        /** Adopted chunk placements (content hash -> shard). */
+        std::unordered_map<std::uint64_t, int> chunkHomes;
+
+        /** Functions adopted; Ready fires when all of mix arrived. */
+        std::int64_t adopted = 0;
+        std::unique_ptr<sim::Gate> allAdopted;
+
+        /** Cold starts that pulled bytes through the store ports. */
+        std::int64_t remoteFetches = 0;
+        /// @}
+
+        /** Declared after the ports/client it may reference. */
+        std::unique_ptr<core::Worker> worker;
 
         /** This domain's fault plan (null without storeFaults). */
         std::unique_ptr<sim::FaultPlan> faults;
@@ -228,25 +412,56 @@ class ParallelFleet
 
     /**
      * Validate @p config before any member that spawns threads is
-     * constructed: registry-backed cold-start modes are rejected with
-     * a clean fatal() naming the mode, from the member-init list —
-     * never after the kernel's thread pool exists.
+     * constructed: genuinely unsupported combinations are rejected
+     * with a clean fatal() naming the problem, from the member-init
+     * list — never after the kernel's thread pool exists.
      */
     static ParallelFleetConfig checkedConfig(ParallelFleetConfig config);
+
+    /** Store domain index (only meaningful with sharedSnapshots). */
+    int storeDomain() const { return cfg.workers + 1; }
+
+    /** LocalityHashPolicy ring home of @p name. */
+    int homeWorkerOf(const std::string &name) const
+    {
+        return LocalityHashPolicy::homeWorker(name, cfg.workers);
+    }
+
+    /** Whether the configured mode stages chunk manifests. */
+    bool chunkedMode() const
+    {
+        return cfg.coldStartMode == core::ColdStartMode::DedupReap;
+    }
 
     /** @name Worker-domain coroutines. */
     /// @{
     sim::Task<void> workerMain(int w);
     sim::Task<void> workerInvoke(int w, WorkerMsg msg);
     sim::Task<void> workerJanitor(int w);
+    sim::Task<void> workerStorePump(int w);
+    sim::Task<void> stageHomeFunctions(int w);
+
+    /** Ship @p msg to the store domain; resumes on its OpDone. */
+    sim::Task<void> storeOp(int w, StoreMsg msg);
+    /// @}
+
+    /** @name Store-domain coroutines (sharedSnapshots only). */
+    /// @{
+    sim::Task<void> storePump(int w);
+    sim::Task<void> storeServe(int w, StoreMsg msg);
+    sim::Task<void> storeStage(StoreMsg msg);
     /// @}
 
     /** @name Control-domain coroutines. */
     /// @{
     sim::Task<void> controlMain();
     sim::Task<void> arrivalLoop(int fn_idx, sim::Latch *done);
+    sim::Task<void> trafficArrivalLoop(int fn_idx, sim::Latch *done);
     sim::Task<void> replyPump(int w, sim::Latch *ready,
                               sim::Latch *byes);
+
+    /** Route + dispatch one invocation; returns its request id. */
+    std::int64_t dispatch(int fn_idx, sim::Gate *done);
     /// @}
 
     ParallelFleetConfig cfg;
@@ -254,6 +469,19 @@ class ParallelFleet
     std::vector<AzureMixEntry> mix;
     std::unordered_map<std::string, int> fnIndex;
     std::vector<std::unique_ptr<WorkerNode>> nodes;
+    std::unique_ptr<TrafficEngine> trafficEng;
+
+    /** @name Store-domain state (domain workers+1 only). */
+    /// @{
+    std::unique_ptr<net::ShardedObjectStore> sharedStore;
+    std::unique_ptr<sim::FaultPlan> sharedFaults;
+    storage::ChunkStore fleetChunks;
+    std::int64_t stagingBuilds = 0;
+    Bytes stagingStagedBytes = 0;
+    Bytes stagingDedupSaved = 0;
+    std::int64_t stagingChunksUploaded = 0;
+    std::int64_t stagingChunksDeduped = 0;
+    /// @}
 
     /** @name Control-domain state (domain 0 only). */
     /// @{
@@ -264,6 +492,9 @@ class ParallelFleet
     std::vector<std::int64_t> mirrorInFlight;          // [w]
     std::unordered_map<std::int64_t, PendingReq> pending;
     std::int64_t nextReqId = 0;
+
+    /** Open-loop drain: opened by replyPump when pending empties. */
+    std::unique_ptr<sim::Gate> drainGate;
     ParallelFleetResult result;
     /// @}
 };

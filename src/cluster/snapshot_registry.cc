@@ -8,7 +8,7 @@
 namespace vhive::cluster {
 
 SnapshotRegistry::SnapshotRegistry(
-    sim::Simulation &sim, net::ObjectStore &store,
+    sim::Simulation &sim, net::ArtifactStore &store,
     const std::vector<std::unique_ptr<core::Worker>> &workers,
     core::ColdStartMode mode)
     : sim(sim), store(store), workers(workers), mode(mode)
@@ -111,7 +111,9 @@ SnapshotRegistry::ensureStaged(const std::string &name)
                     ++total;
                     taken.push_back(c);
                     if (sharedChunks.addRef(c)) {
-                        co_await store.putChunk(c.storedBytes);
+                        co_await store.putChunk(
+                            c.storedBytes,
+                            {c.hash, net::placementScope(name)});
                         uploaded += c.storedBytes;
                         ++ups;
                     } else {
@@ -148,7 +150,9 @@ SnapshotRegistry::ensureStaged(const std::string &name)
             // every worker (vs one staged copy per worker before).
             Bytes bytes = core::stagedArtifactBytes(
                 hw.config().vmm.vmmStateSize, orch.record(name));
-            co_await store.put(bytes);
+            co_await store.put(bytes,
+                               {net::placementScope(name),
+                                net::placementScope(name)});
             e.art.stagedBytes = bytes;
         }
         staged_ok = true;

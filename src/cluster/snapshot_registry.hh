@@ -100,7 +100,7 @@ class SnapshotRegistry
      * artifacts match what the fleet will restore with.
      */
     SnapshotRegistry(
-        sim::Simulation &sim, net::ObjectStore &store,
+        sim::Simulation &sim, net::ArtifactStore &store,
         const std::vector<std::unique_ptr<core::Worker>> &workers,
         core::ColdStartMode mode);
 
@@ -177,7 +177,7 @@ class SnapshotRegistry
     };
 
     sim::Simulation &sim;
-    net::ObjectStore &store;
+    net::ArtifactStore &store;
     const std::vector<std::unique_ptr<core::Worker>> &workers;
     core::ColdStartMode mode;
     std::map<std::string, Entry> entries;

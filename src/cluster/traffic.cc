@@ -1,5 +1,7 @@
 #include "cluster/traffic.hh"
 
+#include <cmath>
+
 #include "util/logging.hh"
 
 namespace vhive::cluster {
@@ -75,6 +77,257 @@ ClosedLoopTraffic::stopAndDrain()
     VHIVE_ASSERT(drain); // must have been started
     stopping = true;
     co_await drain->wait();
+}
+
+// ------------------------------------------------------ TrafficEngine
+
+TrafficEngine::TrafficEngine(TrafficConfig config) : cfg(std::move(config))
+{
+    VHIVE_ASSERT(cfg.functions >= 1);
+    VHIVE_ASSERT(cfg.tenants >= 1);
+    VHIVE_ASSERT(cfg.zipfExponent >= 0);
+    VHIVE_ASSERT(cfg.aggregateRps > 0);
+    VHIVE_ASSERT(cfg.diurnal.amplitude >= 0 &&
+                 cfg.diurnal.amplitude <= 0.95);
+    VHIVE_ASSERT(cfg.diurnal.period > 0);
+    VHIVE_ASSERT(!cfg.profilePool.empty() || !cfg.classMix.empty());
+
+    // Profiles: same synthesis scheme as the Azure mix, distinct name
+    // prefix so traffic- and mix-driven fleets never collide.
+    const auto &pool = func::functionBench();
+    profiles.reserve(static_cast<size_t>(cfg.functions));
+    for (int i = 0; i < cfg.functions; ++i) {
+        func::FunctionProfile p;
+        if (!cfg.classMix.empty()) {
+            func::FunctionClass cls =
+                cfg.classMix[static_cast<size_t>(i) %
+                             cfg.classMix.size()];
+            p = func::makeClassProfile(cls, cfg.seed, i);
+        } else {
+            int pool_idx = cfg.profilePool[static_cast<size_t>(i) %
+                                           cfg.profilePool.size()];
+            p = pool[static_cast<size_t>(pool_idx)];
+        }
+        p.name = "tr_" + std::to_string(i) + "_" + p.name;
+        profiles.push_back(std::move(p));
+    }
+
+    // Uniform tenant assignment from a named sub-stream.
+    Rng trng(cfg.seed, "traffic-tenants");
+    tenants.reserve(static_cast<size_t>(cfg.functions));
+    for (int i = 0; i < cfg.functions; ++i)
+        tenants.push_back(
+            static_cast<int>(trng.uniformInt(0, cfg.tenants - 1)));
+
+    // Zipf base rates: rank == index (function 0 is the hottest),
+    // normalized so the population sums to aggregateRps.
+    double norm = 0;
+    for (int i = 0; i < cfg.functions; ++i)
+        norm += std::pow(static_cast<double>(i + 1), -cfg.zipfExponent);
+    baseRates.reserve(static_cast<size_t>(cfg.functions));
+    for (int i = 0; i < cfg.functions; ++i)
+        baseRates.push_back(
+            cfg.aggregateRps *
+            std::pow(static_cast<double>(i + 1), -cfg.zipfExponent) /
+            norm);
+
+    // Burst membership, precomputed per burst from its own stream so
+    // adding a burst never perturbs another burst's membership.
+    burstMembers.reserve(cfg.bursts.size());
+    for (size_t b = 0; b < cfg.bursts.size(); ++b) {
+        const BurstSpec &spec = cfg.bursts[b];
+        VHIVE_ASSERT(spec.duration > 0 && spec.multiplier > 0);
+        std::vector<bool> members(static_cast<size_t>(cfg.functions));
+        Rng brng(cfg.seed, "traffic-burst/" + std::to_string(b));
+        for (int i = 0; i < cfg.functions; ++i) {
+            bool in = false;
+            switch (spec.kind) {
+              case BurstKind::FlashCrowd:
+                in = tenants[static_cast<size_t>(i)] == spec.tenant;
+                break;
+              case BurstKind::DeployStorm:
+                // One draw per function regardless of outcome keeps
+                // membership independent of earlier functions.
+                in = brng.chance(spec.fraction);
+                break;
+            }
+            members[static_cast<size_t>(i)] = in;
+        }
+        burstMembers.push_back(std::move(members));
+    }
+
+    // Thinning envelope: worst-case burst stack per function.
+    burstPeaks.assign(static_cast<size_t>(cfg.functions), 1.0);
+    for (size_t b = 0; b < cfg.bursts.size(); ++b)
+        for (int i = 0; i < cfg.functions; ++i)
+            if (burstAffects(static_cast<int>(b), i) &&
+                cfg.bursts[b].multiplier > 1.0)
+                burstPeaks[static_cast<size_t>(i)] *=
+                    cfg.bursts[b].multiplier;
+}
+
+double
+TrafficEngine::diurnalFactor(Duration t) const
+{
+    if (cfg.diurnal.amplitude == 0)
+        return 1.0;
+    double frac = static_cast<double>(t) /
+                      static_cast<double>(cfg.diurnal.period) +
+                  cfg.diurnal.phase;
+    constexpr double kTau = 6.283185307179586;
+    return 1.0 + cfg.diurnal.amplitude * std::sin(kTau * frac);
+}
+
+double
+TrafficEngine::rateAt(int fn, Duration t) const
+{
+    double rate = baseRate(fn) * diurnalFactor(t);
+    for (size_t b = 0; b < cfg.bursts.size(); ++b) {
+        const BurstSpec &spec = cfg.bursts[b];
+        if (t >= spec.start && t < spec.start + spec.duration &&
+            burstAffects(static_cast<int>(b), fn))
+            rate *= spec.multiplier;
+    }
+    return rate;
+}
+
+double
+TrafficEngine::peakRate(int fn) const
+{
+    return baseRate(fn) * (1.0 + cfg.diurnal.amplitude) *
+           burstPeaks[static_cast<size_t>(fn)];
+}
+
+double
+TrafficEngine::expectedArrivals(int fn, Duration t0, Duration t1) const
+{
+    if (t1 <= t0)
+        return 0;
+    // Trapezoidal integration, fine enough that burst edges (step
+    // functions narrower than one slice) still integrate to within
+    // a slice's worth of rate.
+    constexpr int kSlices = 4096;
+    double dt = static_cast<double>(t1 - t0) / kSlices;
+    double sum = 0;
+    for (int k = 0; k < kSlices; ++k) {
+        Duration ta = t0 + static_cast<Duration>(dt * k);
+        Duration tb = t0 + static_cast<Duration>(dt * (k + 1));
+        sum += 0.5 * (rateAt(fn, ta) + rateAt(fn, tb)) * dt;
+    }
+    return sum / 1e9; // rates are 1/sec, dt is ns
+}
+
+Duration
+TrafficEngine::nextArrival(int fn, Duration now, Rng &rng) const
+{
+    // Lewis-Shedler thinning: candidate gaps at the envelope rate,
+    // accepted with probability rate(t)/peak. Acceptance is bounded
+    // below by (1 - amplitude) / ((1 + amplitude) * burstPeak) > 0,
+    // so the loop terminates with probability 1.
+    double peak = peakRate(fn);
+    VHIVE_ASSERT(peak > 0);
+    double mean_gap_ns = 1e9 / peak;
+    Duration t = now;
+    for (;;) {
+        Duration gap = static_cast<Duration>(
+            rng.exponential(mean_gap_ns));
+        t += std::max<Duration>(1, gap);
+        if (rng.uniform() < rateAt(fn, t) / peak)
+            return t;
+    }
+}
+
+// ---------------------------------------------------- TrafficWorkload
+
+TrafficWorkload::TrafficWorkload(sim::Simulation &sim, Cluster &cluster,
+                                 TrafficConfig config)
+    : sim(sim), cluster(cluster), eng(std::move(config))
+{
+    for (int i = 0; i < eng.functionCount(); ++i)
+        cluster.deploy(eng.profile(i));
+}
+
+sim::Task<void>
+TrafficWorkload::fireOne(int fn)
+{
+    Duration e2e = co_await cluster.invoke(eng.profile(fn).name);
+    result.e2eLatencyMs.add(toMs(e2e));
+    ++result.invocations;
+    ++completed;
+    if (launchDone && completed == launched && drained)
+        drained->openGate();
+}
+
+sim::Task<void>
+TrafficWorkload::arrivalLoop(int fn, sim::Latch *loops_done)
+{
+    Rng local(eng.config().seed,
+              "traffic-arrivals/" + eng.profile(fn).name);
+    Time start = sim.now();
+    Duration t = 0;
+    while (true) {
+        t = eng.nextArrival(fn, t, local);
+        if (t >= eng.config().horizon)
+            break;
+        co_await sim.delay(start + t - sim.now());
+        // Open loop: fire and move on. The invocation completes (or
+        // fails) on its own task; run() waits for the stragglers.
+        ++launched;
+        sim.spawn(fireOne(fn));
+    }
+    loops_done->arrive();
+}
+
+sim::Task<TrafficWorkloadResult>
+TrafficWorkload::run()
+{
+    co_await cluster.prepareAllSnapshots();
+
+    core::ColdStartMode mode = cluster.config().coldStartMode;
+    bool mode_needs_record = cluster.worker(0)
+                                 .orchestrator()
+                                 .loaders()
+                                 .loaderFor(mode)
+                                 .needsRecord();
+    if (mode_needs_record && !cluster.config().sharedSnapshots) {
+        // Same off-window record pass as AzureWorkload: deployed
+        // production functions recorded long ago. (Shared staging
+        // already recorded on each home worker.)
+        for (int i = 0; i < eng.functionCount(); ++i) {
+            for (int wi = 0; wi < cluster.workerCount(); ++wi) {
+                auto &orch = cluster.worker(wi).orchestrator();
+                orch.flushHostCaches();
+                core::InvokeOptions opts;
+                opts.forceCold = true;
+                (void)co_await orch.invoke(eng.profile(i).name, mode,
+                                           opts);
+            }
+        }
+        cluster.resetStats();
+    }
+
+    cluster.startAutoscaler();
+
+    sim::Latch loops_done(sim, eng.functionCount());
+    for (int i = 0; i < eng.functionCount(); ++i)
+        sim.spawn(arrivalLoop(i, &loops_done));
+    co_await loops_done.wait();
+
+    launchDone = true;
+    if (completed < launched) {
+        drained = std::make_unique<sim::Gate>(sim);
+        co_await drained->wait();
+    }
+
+    cluster.stopAutoscaler();
+
+    for (int i = 0; i < eng.functionCount(); ++i) {
+        const auto &st = cluster.stats(eng.profile(i).name);
+        result.coldStarts += st.coldStarts;
+        result.warmHits += st.warmHits;
+        result.failedInvocations += st.failedInvocations;
+    }
+    co_return result;
 }
 
 } // namespace vhive::cluster

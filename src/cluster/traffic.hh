@@ -5,6 +5,15 @@
  * minute), which the Poisson generator models; the closed-loop
  * generator drives steady background load (Sec. 6.3's 20 warm
  * functions experiment).
+ *
+ * TrafficEngine scales this to planet-shaped load (ROADMAP item 1):
+ * heavy-tailed function populations with Zipf invocation skew (the
+ * "Serverless in the Wild" Azure characterization), diurnal rate
+ * modulation, and synchronized burst events — tenant flash crowds and
+ * deploy storms — sampled by Lewis-Shedler thinning so arrival streams
+ * stay deterministic per seed. TrafficWorkload drives a sequential
+ * Cluster open-loop with it; cluster::ParallelFleet consumes the same
+ * engine for its per-domain arrival loops.
  */
 
 #ifndef VHIVE_CLUSTER_TRAFFIC_HH
@@ -12,12 +21,15 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hh"
+#include "func/profile.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
 #include "util/rng.hh"
+#include "util/stats.hh"
 #include "util/units.hh"
 
 namespace vhive::cluster {
@@ -92,6 +104,196 @@ class ClosedLoopTraffic
     bool stopping = false;
     std::int64_t _completed = 0;
     std::unique_ptr<sim::Latch> drain;
+};
+
+/** Sinusoidal day/night modulation of every function's rate. */
+struct DiurnalShape
+{
+    /** Cycle length (a simulated "day"; shorten it for benches). */
+    Duration period = sec(86400);
+
+    /**
+     * Peak-to-mean swing in [0, 0.95]: rate(t) scales by
+     * 1 + amplitude * sin(2*pi * (t/period + phase)). 0 disables.
+     */
+    double amplitude = 0;
+
+    /** Phase offset as a fraction of the period. */
+    double phase = 0;
+};
+
+/** Kinds of synchronized burst events. */
+enum class BurstKind {
+    /**
+     * One tenant's traffic spikes together (retry storm, marketing
+     * event): every function of @p tenant multiplies its rate.
+     */
+    FlashCrowd,
+
+    /**
+     * A coordinated rollout re-invokes a random fraction of the whole
+     * population at once (membership drawn per burst from the seed).
+     */
+    DeployStorm,
+};
+
+/** One burst event, relative to traffic start. */
+struct BurstSpec
+{
+    BurstKind kind = BurstKind::FlashCrowd;
+    Duration start = sec(60);
+    Duration duration = sec(30);
+
+    /** Rate multiplier applied to affected functions while active. */
+    double multiplier = 10.0;
+
+    /** FlashCrowd: the tenant whose functions spike. */
+    int tenant = 0;
+
+    /** DeployStorm: fraction of the population redeployed. */
+    double fraction = 0.25;
+};
+
+/** Configuration of the planet-scale traffic model. */
+struct TrafficConfig
+{
+    /** Deployed population size (thousands at generator scale). */
+    int functions = 1000;
+
+    /** Tenants the population is uniformly assigned to. */
+    int tenants = 8;
+
+    /**
+     * Zipf exponent of the invocation-rate skew: function at
+     * popularity rank r gets weight 1/(r+1)^s. ~1 matches the Azure
+     * trace's heavy tail (a few hot functions, a long cold tail).
+     */
+    double zipfExponent = 1.1;
+
+    /** Aggregate mean arrival rate across the population (1/sec). */
+    double aggregateRps = 100.0;
+
+    /** Simulated horizon arrivals are generated for. */
+    Duration horizon = sec(600);
+
+    DiurnalShape diurnal{};
+    std::vector<BurstSpec> bursts;
+
+    std::uint64_t seed = 0x7ea41c;
+
+    /** Profile synthesis: same semantics as AzureWorkloadConfig. */
+    std::vector<int> profilePool = {0, 1, 2, 3, 4, 5, 7};
+    std::vector<func::FunctionClass> classMix;
+};
+
+/**
+ * Deterministic rate model + arrival sampler. Construction
+ * precomputes per-function profiles ("tr_<i>_<base>"), tenant
+ * assignment, Zipf base rates and burst memberships from the seed;
+ * rateAt()/nextArrival() are then pure functions of (function, time)
+ * and the caller's Rng stream, so every consumer — sequential driver,
+ * parallel fleet, property tests — sees the same traffic.
+ */
+class TrafficEngine
+{
+  public:
+    explicit TrafficEngine(TrafficConfig config);
+
+    const TrafficConfig &config() const { return cfg; }
+
+    int functionCount() const { return cfg.functions; }
+
+    const func::FunctionProfile &profile(int fn) const
+    {
+        return profiles[static_cast<size_t>(fn)];
+    }
+
+    /** Tenant @p fn belongs to. */
+    int tenantOf(int fn) const
+    {
+        return tenants[static_cast<size_t>(fn)];
+    }
+
+    /** Whether burst @p b applies to @p fn. */
+    bool burstAffects(int b, int fn) const
+    {
+        return burstMembers[static_cast<size_t>(b)]
+                           [static_cast<size_t>(fn)];
+    }
+
+    /** Zipf-weighted mean rate of @p fn (1/sec), bursts aside. */
+    double baseRate(int fn) const
+    {
+        return baseRates[static_cast<size_t>(fn)];
+    }
+
+    /** Instantaneous rate of @p fn at @p t since traffic start. */
+    double rateAt(int fn, Duration t) const;
+
+    /** Upper bound on rateAt over all t (thinning envelope). */
+    double peakRate(int fn) const;
+
+    /** Integral of rateAt over [t0, t1) (for rate-accuracy tests). */
+    double expectedArrivals(int fn, Duration t0, Duration t1) const;
+
+    /**
+     * Next arrival of @p fn strictly after @p now (relative to
+     * traffic start), sampled by thinning against peakRate() from
+     * @p rng. May exceed the horizon; the caller bounds the loop.
+     */
+    Duration nextArrival(int fn, Duration now, Rng &rng) const;
+
+  private:
+    double diurnalFactor(Duration t) const;
+
+    TrafficConfig cfg;
+    std::vector<func::FunctionProfile> profiles;
+    std::vector<int> tenants;
+    std::vector<double> baseRates;
+    std::vector<std::vector<bool>> burstMembers;
+    std::vector<double> burstPeaks; ///< per-fn product of multipliers
+};
+
+/** Results of one open-loop traffic run. */
+struct TrafficWorkloadResult
+{
+    Samples e2eLatencyMs;
+    std::int64_t invocations = 0;
+    std::int64_t coldStarts = 0;
+    std::int64_t warmHits = 0;
+    std::int64_t failedInvocations = 0;
+};
+
+/**
+ * Drives a sequential Cluster with TrafficEngine arrivals, open-loop:
+ * arrivals fire on schedule whether or not earlier invocations
+ * completed, so flash crowds genuinely pile onto the shared data
+ * plane (a closed loop would self-throttle exactly when contention
+ * matters). Deploys the engine's profiles on construction.
+ */
+class TrafficWorkload
+{
+  public:
+    TrafficWorkload(sim::Simulation &sim, Cluster &cluster,
+                    TrafficConfig config);
+
+    const TrafficEngine &engine() const { return eng; }
+
+    /** Run to completion (all fired invocations finished). */
+    sim::Task<TrafficWorkloadResult> run();
+
+  private:
+    sim::Task<void> arrivalLoop(int fn, sim::Latch *loops_done);
+    sim::Task<void> fireOne(int fn);
+
+    sim::Simulation &sim;
+    Cluster &cluster;
+    TrafficEngine eng;
+    std::int64_t launched = 0;
+    std::int64_t completed = 0;
+    bool launchDone = false;
+    std::unique_ptr<sim::Gate> drained;
+    TrafficWorkloadResult result;
 };
 
 } // namespace vhive::cluster

@@ -302,10 +302,28 @@ ReapLoader::makeSource(LoadContext &ctx) const
 
 // --------------------------------------------------------- RemoteReap
 
+namespace {
+
+/**
+ * Placement key for one function's artifacts: content and scope are
+ * both the function-name hash, so blob artifacts hash-place per
+ * function and chunk uploads carry the owning function as scope for
+ * overlap-aware co-location. Unsharded stores ignore it.
+ */
+net::PlacementKey
+artifactKey(const LoadContext &ctx)
+{
+    std::uint64_t h = net::placementScope(ctx.st.profile.name);
+    return {h, h};
+}
+
+} // namespace
+
 std::unique_ptr<mem::PageSource>
 RemoteReapLoader::makeSource(LoadContext &ctx) const
 {
-    return std::make_unique<mem::RemoteObjectSource>(ctx.artifactStore);
+    return std::make_unique<mem::RemoteObjectSource>(ctx.artifactStore,
+                                                     artifactKey(ctx));
 }
 
 sim::Task<void>
@@ -316,8 +334,9 @@ RemoteReapLoader::ensureStaged(LoadContext ctx)
     // creation itself (Sec. 7.1).
     if (ctx.st.remoteStaged)
         co_return;
-    co_await ctx.artifactStore.put(stagedArtifactBytes(
-        ctx.vmmParams.vmmStateSize, ctx.st.record));
+    co_await ctx.artifactStore.put(
+        stagedArtifactBytes(ctx.vmmParams.vmmStateSize, ctx.st.record),
+        artifactKey(ctx));
     ctx.st.remoteStaged = true;
 }
 
@@ -327,7 +346,8 @@ RemoteReapLoader::preRestore(LoadContext ctx)
     // The serialized VMM/device state arrives as one bulk GET, then
     // lands in the local state file's cache pages so the restore
     // deserializes from memory rather than re-reading the disk.
-    co_await ctx.artifactStore.get(ctx.vmmParams.vmmStateSize);
+    co_await ctx.artifactStore.get(ctx.vmmParams.vmmStateSize,
+                                   artifactKey(ctx));
     co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
                                   ctx.vmmParams.vmmStateSize);
 }
@@ -387,7 +407,8 @@ TieredReapLoader::makeSource(LoadContext &ctx) const
 std::unique_ptr<mem::PageSource>
 TieredReapLoader::makeBackstop(LoadContext &ctx) const
 {
-    return std::make_unique<mem::RemoteObjectSource>(ctx.artifactStore);
+    return std::make_unique<mem::RemoteObjectSource>(ctx.artifactStore,
+                                                     artifactKey(ctx));
 }
 
 sim::Task<void>
@@ -454,7 +475,8 @@ DedupReapLoader::makeBackstop(LoadContext &ctx) const
     VHIVE_ASSERT(ctx.st.manifests != nullptr);
     auto src = std::make_unique<mem::ChunkPageSource>(
         ctx.sim, ctx.artifactStore, ctx.st.manifests->ws,
-        &ctx.localChunks, chunkParams(ctx.reap), &ctx.chunkFlights);
+        &ctx.localChunks, chunkParams(ctx.reap), &ctx.chunkFlights,
+        artifactKey(ctx).scope);
     // An invalidateRecord() or re-record while this cold start is in
     // flight drops the function's manifests; the source must outlive
     // that release.
@@ -478,7 +500,8 @@ DedupReapLoader::ensureStaged(LoadContext ctx)
     for (const storage::ChunkManifest *man : {&m.vmmState, &m.ws}) {
         for (const storage::ChunkRef &c : man->chunks) {
             if (ctx.stagedChunks.addRef(c))
-                co_await ctx.artifactStore.putChunk(c.storedBytes);
+                co_await ctx.artifactStore.putChunk(
+                    c.storedBytes, {c.hash, artifactKey(ctx).scope});
         }
     }
     ctx.st.remoteStaged = true;
@@ -506,7 +529,8 @@ DedupReapLoader::preRestore(LoadContext ctx)
                                    pinned->vmmState,
                                    &ctx.localChunks,
                                    chunkParams(ctx.reap),
-                                   &ctx.chunkFlights);
+                                   &ctx.chunkFlights,
+                                   artifactKey(ctx).scope);
     co_await state_src.readAll();
     co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
                                   ctx.vmmParams.vmmStateSize);

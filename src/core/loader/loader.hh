@@ -73,7 +73,7 @@ struct LoadContext
      * payloads keep flowing through objectStore — the two roles are
      * distinct services in a real deployment.
      */
-    net::ObjectStore &artifactStore;
+    net::ArtifactStore &artifactStore;
 
     /**
      * Worker-wide chunk single-flight table: concurrent cold starts

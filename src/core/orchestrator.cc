@@ -29,7 +29,7 @@ Orchestrator::Orchestrator(sim::Simulation &sim, storage::FileStore &fs,
                            const func::TraceGenerator &gen,
                            vmm::VmmParams vmm_params, ReapOptions reap,
                            mem::UffdParams uffd_params,
-                           net::ObjectStore *artifact_store)
+                           net::ArtifactStore *artifact_store)
     : sim(sim), fs(fs), hostCpus(host_cpus), orchCpus(orch_cpus),
       objectStore(object_store),
       artifactStore(artifact_store != nullptr ? *artifact_store

@@ -61,7 +61,7 @@ class Orchestrator
                  vmm::VmmParams vmm_params = vmm::VmmParams{},
                  ReapOptions reap = ReapOptions{},
                  mem::UffdParams uffd_params = mem::UffdParams{},
-                 net::ObjectStore *artifact_store = nullptr);
+                 net::ArtifactStore *artifact_store = nullptr);
 
     /**
      * Bound the worker's instance memory (Sec. 4.3: colocation makes
@@ -274,7 +274,7 @@ class Orchestrator
     host::CpuPool &hostCpus;
     host::CpuPool &orchCpus;
     net::ObjectStore &objectStore;
-    net::ObjectStore &artifactStore;
+    net::ArtifactStore &artifactStore;
     const func::TraceGenerator &gen;
     vmm::VmmParams vmmParams;
     ReapOptions reap;

@@ -17,7 +17,7 @@ ioForDisk(const WorkerConfig &cfg)
 } // namespace
 
 Worker::Worker(sim::Simulation &sim, WorkerConfig config,
-               net::ObjectStore *shared_store)
+               net::ArtifactStore *shared_store)
     : sim(sim), cfg(config), _disk(sim, cfg.disk),
       fs(sim, _disk, ioForDisk(cfg)),
       _hostCpus(sim, cfg.hostCores),

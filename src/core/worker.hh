@@ -83,7 +83,7 @@ class Worker
      */
     explicit Worker(sim::Simulation &sim,
                     WorkerConfig config = WorkerConfig{},
-                    net::ObjectStore *shared_store = nullptr);
+                    net::ArtifactStore *shared_store = nullptr);
 
     Worker(const Worker &) = delete;
     Worker &operator=(const Worker &) = delete;
@@ -98,7 +98,7 @@ class Worker
     net::ObjectStore &objectStore() { return s3; }
 
     /** The store artifacts stage into (shared one when given). */
-    net::ObjectStore &artifactStore() { return *artifacts; }
+    net::ArtifactStore &artifactStore() { return *artifacts; }
 
     const func::TraceGenerator &traceGenerator() const { return gen; }
     const WorkerConfig &config() const { return cfg; }
@@ -112,7 +112,7 @@ class Worker
     host::CpuPool _orchCpus;
     net::ObjectStore s3;
     /** Points at s3, or at the fleet-shared store when one was given. */
-    net::ObjectStore *artifacts;
+    net::ArtifactStore *artifacts;
     func::TraceGenerator gen;
     Orchestrator orch;
 };

@@ -9,12 +9,13 @@
 namespace vhive::mem {
 
 ChunkPageSource::ChunkPageSource(sim::Simulation &sim,
-                                 net::ObjectStore &store,
+                                 net::ArtifactStore &store,
                                  const storage::ChunkManifest &manifest,
                                  storage::ChunkStore *resident_cache,
                                  ChunkSourceParams params,
-                                 ChunkFlights *flights)
-    : sim(sim), store(store), manifest(manifest),
+                                 ChunkFlights *flights,
+                                 std::uint64_t scope)
+    : sim(sim), store(store), manifest(manifest), scope(scope),
       cache(resident_cache != nullptr ? resident_cache : &ownedCache),
       flights(flights != nullptr ? flights : &ownedFlights),
       params(params)
@@ -67,48 +68,62 @@ ChunkPageSource::read(Bytes offset, Bytes len)
     if (!missing.empty()) {
         ++cacheRow.misses;
         Time t0 = sim.now();
+        // Group the missing chunks by the shard that stores them so
+        // each batched GET hits exactly one shard. For an unsharded
+        // store shardOf() is always 0, collapsing to the historical
+        // one-group ordering (bit-identical batches).
+        std::map<int, std::vector<size_t>> by_shard;
+        for (size_t i : missing) {
+            const storage::ChunkRef &ref = manifest.chunks[i];
+            by_shard[store.shardOf({ref.hash, scope})].push_back(i);
+        }
         // Batched ranged GETs of the compressed bytes, then a
         // decompression pass per arriving batch. Only after a batch
         // lands are its chunks admitted into the resident cache and
         // their flight gates opened.
-        for (size_t b = 0; b < missing.size();
-             b += static_cast<size_t>(params.batchChunks)) {
-            size_t n = std::min<size_t>(
-                static_cast<size_t>(params.batchChunks),
-                missing.size() - b);
-            Bytes stored_sum = 0, raw_sum = 0, compressed_raw = 0;
-            for (size_t k = b; k < b + n; ++k) {
-                const storage::ChunkRef &ref =
-                    manifest.chunks[missing[k]];
-                stored_sum += ref.storedBytes;
-                raw_sum += ref.rawBytes;
-                if (ref.storedBytes < ref.rawBytes)
-                    compressed_raw += ref.rawBytes;
-            }
-            co_await store.getChunks(static_cast<std::int64_t>(n),
-                                     stored_sum);
-            Duration decompress =
-                params.perChunkDecompress *
-                    static_cast<Duration>(n) +
-                static_cast<Duration>(
-                    static_cast<double>(compressed_raw) /
-                    params.decompressBandwidth * 1e9);
-            co_await sim.delay(decompress);
-            for (size_t k = b; k < b + n; ++k) {
-                const storage::ChunkRef &ref =
-                    manifest.chunks[missing[k]];
-                cache->addRef(ref);
-                auto it = flights->find(ref.hash);
-                if (it != flights->end()) {
-                    it->second->openGate();
-                    flights->erase(it);
+        for (const auto &[shard, group] : by_shard) {
+            (void)shard;
+            for (size_t b = 0; b < group.size();
+                 b += static_cast<size_t>(params.batchChunks)) {
+                size_t n = std::min<size_t>(
+                    static_cast<size_t>(params.batchChunks),
+                    group.size() - b);
+                Bytes stored_sum = 0, raw_sum = 0, compressed_raw = 0;
+                for (size_t k = b; k < b + n; ++k) {
+                    const storage::ChunkRef &ref =
+                        manifest.chunks[group[k]];
+                    stored_sum += ref.storedBytes;
+                    raw_sum += ref.rawBytes;
+                    if (ref.storedBytes < ref.rawBytes)
+                        compressed_raw += ref.rawBytes;
                 }
+                co_await store.getChunks(
+                    static_cast<std::int64_t>(n), stored_sum,
+                    {manifest.chunks[group[b]].hash, scope});
+                Duration decompress =
+                    params.perChunkDecompress *
+                        static_cast<Duration>(n) +
+                    static_cast<Duration>(
+                        static_cast<double>(compressed_raw) /
+                        params.decompressBandwidth * 1e9);
+                co_await sim.delay(decompress);
+                for (size_t k = b; k < b + n; ++k) {
+                    const storage::ChunkRef &ref =
+                        manifest.chunks[group[k]];
+                    cache->addRef(ref);
+                    auto it = flights->find(ref.hash);
+                    if (it != flights->end()) {
+                        it->second->openGate();
+                        flights->erase(it);
+                    }
+                }
+                _chunkStats.remoteChunks +=
+                    static_cast<std::int64_t>(n);
+                _chunkStats.storedBytesFetched += stored_sum;
+                _chunkStats.rawBytesFetched += raw_sum;
+                cacheRow.admissions += static_cast<std::int64_t>(n);
+                cacheRow.bytesAdmitted += raw_sum;
             }
-            _chunkStats.remoteChunks += static_cast<std::int64_t>(n);
-            _chunkStats.storedBytesFetched += stored_sum;
-            _chunkStats.rawBytesFetched += raw_sum;
-            cacheRow.admissions += static_cast<std::int64_t>(n);
-            cacheRow.bytesAdmitted += raw_sum;
         }
         ++remoteRow.hits;
         remoteRow.bytes += remote_portion;

@@ -95,11 +95,16 @@ struct ChunkFetchStats
 class ChunkPageSource final : public PageSource
 {
   public:
-    ChunkPageSource(sim::Simulation &sim, net::ObjectStore &store,
+    /**
+     * @p scope is the placement scope (function-name hash) stamped on
+     * every store request; 0 is fine for unsharded stores.
+     */
+    ChunkPageSource(sim::Simulation &sim, net::ArtifactStore &store,
                     const storage::ChunkManifest &manifest,
                     storage::ChunkStore *resident_cache,
                     ChunkSourceParams params = ChunkSourceParams{},
-                    ChunkFlights *flights = nullptr);
+                    ChunkFlights *flights = nullptr,
+                    std::uint64_t scope = 0);
 
     const char *name() const override { return "chunked"; }
     sim::Task<void> read(Bytes offset, Bytes len) override;
@@ -125,8 +130,9 @@ class ChunkPageSource final : public PageSource
 
   private:
     sim::Simulation &sim;
-    net::ObjectStore &store;
+    net::ArtifactStore &store;
     const storage::ChunkManifest &manifest;
+    std::uint64_t scope;
     storage::ChunkStore *cache;
     storage::ChunkStore ownedCache;
     ChunkFlights *flights;

@@ -17,7 +17,7 @@ DirectFileSource::read(Bytes offset, Bytes len)
 sim::Task<void>
 RemoteObjectSource::read(Bytes offset, Bytes len)
 {
-    co_await store.getRange(offset, len);
+    co_await store.getRange(offset, len, key);
 }
 
 } // namespace vhive::mem

@@ -118,7 +118,9 @@ class DirectFileSource final : public PageSource
 class RemoteObjectSource final : public PageSource
 {
   public:
-    explicit RemoteObjectSource(net::ObjectStore &store) : store(store)
+    explicit RemoteObjectSource(net::ArtifactStore &store,
+                                net::PlacementKey key = {})
+        : store(store), key(key)
     {
     }
 
@@ -126,7 +128,8 @@ class RemoteObjectSource final : public PageSource
     sim::Task<void> read(Bytes offset, Bytes len) override;
 
   private:
-    net::ObjectStore &store;
+    net::ArtifactStore &store;
+    net::PlacementKey key;
 };
 
 } // namespace vhive::mem

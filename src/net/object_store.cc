@@ -21,6 +21,19 @@ ObjectStoreParams::remote()
     return p;
 }
 
+std::uint64_t
+placementScope(std::string_view name)
+{
+    // FNV-1a, matching util::hashName; duplicated here so net/ stays
+    // free of util/rng dependencies.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 ObjectStore::ObjectStore(sim::Simulation &sim, ObjectStoreParams params)
     : sim(sim), _params(params)
 {
@@ -107,41 +120,47 @@ ObjectStore::transfer(Bytes bytes)
 }
 
 sim::Task<void>
-ObjectStore::get(Bytes bytes)
+ObjectStore::get(Bytes bytes, PlacementKey key)
 {
+    (void)key;
     ++_stats.gets;
     _stats.bytesServed += bytes;
     co_await transfer(bytes);
 }
 
 sim::Task<void>
-ObjectStore::getRange(Bytes offset, Bytes bytes)
+ObjectStore::getRange(Bytes offset, Bytes bytes, PlacementKey key)
 {
     // The model prices requests by size; the offset only matters to
     // the caller's data layout.
     (void)offset;
+    (void)key;
     ++_stats.rangedGets;
     co_await get(bytes);
 }
 
 sim::Task<void>
-ObjectStore::put(Bytes bytes)
+ObjectStore::put(Bytes bytes, PlacementKey key)
 {
+    (void)key;
     ++_stats.puts;
     _stats.bytesStored += bytes;
     co_await transfer(bytes);
 }
 
 sim::Task<void>
-ObjectStore::putChunk(Bytes stored_bytes)
+ObjectStore::putChunk(Bytes stored_bytes, PlacementKey key)
 {
+    (void)key;
     ++_stats.chunkPuts;
     co_await put(stored_bytes);
 }
 
 sim::Task<void>
-ObjectStore::getChunks(std::int64_t chunks, Bytes stored_bytes)
+ObjectStore::getChunks(std::int64_t chunks, Bytes stored_bytes,
+                       PlacementKey key)
 {
+    (void)key;
     ++_stats.chunkBatches;
     _stats.chunksServed += chunks;
     // One multi-range request; the cost and base accounting are

@@ -16,8 +16,10 @@
 #ifndef VHIVE_NET_OBJECT_STORE_HH
 #define VHIVE_NET_OBJECT_STORE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "sim/fault.hh"
 #include "sim/simulation.hh"
@@ -26,6 +28,24 @@
 #include "util/units.hh"
 
 namespace vhive::net {
+
+/**
+ * Routing hint attached to every artifact-store operation. A sharded
+ * store uses it to pick a shard; a single store ignores it. `content`
+ * identifies the object (chunk hash or name hash) and drives hash
+ * placement; `scope` groups related objects (all chunks of one
+ * function) so overlap-aware placement can prefer co-location.
+ * A default-constructed key routes to shard 0, which keeps every
+ * existing single-store call site bit-identical.
+ */
+struct PlacementKey
+{
+    std::uint64_t content = 0;
+    std::uint64_t scope = 0;
+};
+
+/** Stable name hash for building placement keys (FNV-1a). */
+std::uint64_t placementScope(std::string_view name);
 
 /** Object-store transfer cost constants. */
 struct ObjectStoreParams
@@ -109,10 +129,56 @@ struct ObjectStoreStats
 };
 
 /**
+ * Abstract artifact-store surface: the five operations every snapshot
+ * consumer (loaders, page sources, the fleet registry) issues. Each
+ * op carries an optional PlacementKey; implementations with a single
+ * backend ignore it, sharded ones route on it. shardOf()/shardCount()
+ * let consumers group requests per shard (batch locality) without
+ * knowing the topology.
+ */
+class ArtifactStore
+{
+  public:
+    virtual ~ArtifactStore() = default;
+
+    /** Fetch an object of @p bytes; completes when fully received. */
+    virtual sim::Task<void> get(Bytes bytes, PlacementKey key = {}) = 0;
+
+    /** Ranged GET (HTTP Range) of @p bytes at @p offset. */
+    virtual sim::Task<void> getRange(Bytes offset, Bytes bytes,
+                                     PlacementKey key = {}) = 0;
+
+    /** Store an object of @p bytes; completes when fully durable. */
+    virtual sim::Task<void> put(Bytes bytes, PlacementKey key = {}) = 0;
+
+    /** Store one content-addressed chunk (compressed size). */
+    virtual sim::Task<void> putChunk(Bytes stored_bytes,
+                                     PlacementKey key = {}) = 0;
+
+    /**
+     * One batched ranged GET serving @p chunks content-addressed
+     * chunks totalling @p stored_bytes compressed bytes.
+     */
+    virtual sim::Task<void> getChunks(std::int64_t chunks,
+                                      Bytes stored_bytes,
+                                      PlacementKey key = {}) = 0;
+
+    /** Shard @p key routes to (always 0 for unsharded stores). */
+    virtual int shardOf(PlacementKey key) const
+    {
+        (void)key;
+        return 0;
+    }
+
+    /** Number of shards behind this surface. */
+    virtual int shardCount() const { return 1; }
+};
+
+/**
  * An object store (MinIO / S3 stand-in). Objects are identified by
  * size only; contents are irrelevant to the latency model.
  */
-class ObjectStore
+class ObjectStore : public ArtifactStore
 {
   public:
     ObjectStore(sim::Simulation &sim,
@@ -122,7 +188,7 @@ class ObjectStore
     ObjectStore &operator=(const ObjectStore &) = delete;
 
     /** Fetch an object of @p bytes; completes when fully received. */
-    sim::Task<void> get(Bytes bytes);
+    sim::Task<void> get(Bytes bytes, PlacementKey key = {}) override;
 
     /**
      * Ranged GET (HTTP Range): fetch @p bytes at @p offset of a stored
@@ -132,17 +198,19 @@ class ObjectStore
      * a real trade-off (request overhead x windows vs per-stream
      * bandwidth x in-flight windows).
      */
-    sim::Task<void> getRange(Bytes offset, Bytes bytes);
+    sim::Task<void> getRange(Bytes offset, Bytes bytes,
+                             PlacementKey key = {}) override;
 
     /** Store an object of @p bytes; completes when fully durable. */
-    sim::Task<void> put(Bytes bytes);
+    sim::Task<void> put(Bytes bytes, PlacementKey key = {}) override;
 
     /**
      * Store one content-addressed chunk of @p stored_bytes (its
      * compressed size). Same cost structure as put(); counted
      * separately so dedup experiments can see uploads avoided.
      */
-    sim::Task<void> putChunk(Bytes stored_bytes);
+    sim::Task<void> putChunk(Bytes stored_bytes,
+                             PlacementKey key = {}) override;
 
     /**
      * One batched ranged GET serving @p chunks content-addressed
@@ -153,7 +221,8 @@ class ObjectStore
      * per-page-GET regime Sec. 7.1 warns about; decompression is
      * charged by the consumer (mem::ChunkPageSource), not the store.
      */
-    sim::Task<void> getChunks(std::int64_t chunks, Bytes stored_bytes);
+    sim::Task<void> getChunks(std::int64_t chunks, Bytes stored_bytes,
+                              PlacementKey key = {}) override;
 
     const ObjectStoreParams &params() const { return _params; }
     const ObjectStoreStats &stats() const { return _stats; }

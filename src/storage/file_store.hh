@@ -23,6 +23,7 @@
 #define VHIVE_STORAGE_FILE_STORE_HH
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -176,7 +177,11 @@ class FileStore
     DiskDevice &disk;
     IoPathParams _params;
     FileStoreStats _stats;
-    std::vector<File> files;
+    // deque, not vector: the coroutine I/O paths hold File& across
+    // suspension points, and a concurrent createFile (another
+    // invocation's cold start on the same worker) must not invalidate
+    // them. Files are append-only, so deque references are stable.
+    std::deque<File> files;
     sim::Semaphore plug; // serialized block-layer submission stage
     Bytes nextLba = 0;
 };

@@ -688,21 +688,40 @@ TEST(ChaosParallel, StoreFaultDigestStableAcrossThreads)
     EXPECT_NE(run_fleet(1, false), d1);
 }
 
-TEST(ChaosParallel, RejectsRegistryModesWithCleanError)
+TEST(ChaosParallel, RegistryModesRunWithoutSharedSnapshots)
 {
-    // Satellite regression: the rejection must be a clean fatal()
-    // (exit code 1) naming the unsupported mode — raised before the
-    // kernel's thread pool exists, never an assert/abort.
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Registry-backed modes are no longer blanket-rejected: without
+    // sharedSnapshots each worker stages into its own store,
+    // domain-confined, and the run completes.
     cluster::ParallelFleetConfig cfg;
     cfg.workers = 2;
     cfg.coldStartMode = core::ColdStartMode::DedupReap;
-    EXPECT_EXIT({ cluster::ParallelFleet fleet(cfg); },
-                ::testing::ExitedWithCode(1), "reap-dedup");
+    cfg.workload.functions = 2;
+    cfg.workload.minInterarrival = sec(2);
+    cfg.workload.maxInterarrival = sec(10);
+    cfg.workload.horizon = sec(60);
+    cluster::ParallelFleet fleet(cfg);
+    auto r = fleet.run();
+    EXPECT_GT(r.invocations, 0);
+}
 
-    cfg.coldStartMode = core::ColdStartMode::RemoteReap;
+TEST(ChaosParallel, RejectsUnsupportedConfigsWithCleanError)
+{
+    // Genuinely unsupported configs still fail as a clean fatal()
+    // (exit code 1) naming the problem — raised before the kernel's
+    // thread pool exists, never an assert/abort.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    cluster::ParallelFleetConfig cfg;
+    cfg.workers = 2;
+    cfg.sharedSnapshots = true;
+    cfg.coldStartMode = core::ColdStartMode::Reap;
     EXPECT_EXIT({ cluster::ParallelFleet fleet(cfg); },
-                ::testing::ExitedWithCode(1), "reap-remote");
+                ::testing::ExitedWithCode(1), "remote-capable");
+
+    cfg.coldStartMode = core::ColdStartMode::TieredReap;
+    cfg.sharedStoreShards = 0;
+    EXPECT_EXIT({ cluster::ParallelFleet fleet(cfg); },
+                ::testing::ExitedWithCode(1), "sharedStoreShards");
 }
 
 } // namespace

@@ -268,6 +268,97 @@ TEST(ParallelFleet, BitIdenticalAcrossThreadCounts)
     }
 }
 
+ParallelFleetResult
+runSharedScenario(core::ColdStartMode mode, int threads, int shards,
+                  bool traffic)
+{
+    ParallelFleetConfig cfg;
+    cfg.workers = 4;
+    cfg.simThreads = threads;
+    cfg.coldStartMode = mode;
+    cfg.sharedSnapshots = true;
+    cfg.sharedStoreShards = shards;
+    cfg.chunkPlacement = net::ChunkPlacementPolicy::OverlapAware;
+    cfg.routingPolicy = RoutingPolicyKind::LocalityHash;
+    cfg.keepAlive = sec(30);
+    if (traffic) {
+        TrafficConfig tc;
+        tc.functions = 8;
+        tc.tenants = 3;
+        tc.aggregateRps = 2.0;
+        tc.horizon = sec(120);
+        tc.diurnal.amplitude = 0.5;
+        tc.diurnal.period = sec(120);
+        BurstSpec crowd;
+        crowd.kind = BurstKind::FlashCrowd;
+        crowd.tenant = 1;
+        crowd.start = sec(40);
+        crowd.duration = sec(20);
+        crowd.multiplier = 8.0;
+        tc.bursts.push_back(crowd);
+        cfg.traffic = tc;
+    } else {
+        cfg.workload.functions = 6;
+        cfg.workload.minInterarrival = sec(2);
+        cfg.workload.maxInterarrival = sec(20);
+        cfg.workload.horizon = sec(120);
+    }
+    ParallelFleet fleet(cfg);
+    return fleet.run();
+}
+
+TEST(ParallelFleet, SharedTieredBitIdenticalAcrossThreadCounts)
+{
+    // The tentpole contract: the fleet-shared data plane (store
+    // domain, staging, adoption, port-backed fetches) keeps digests
+    // bit-identical across sim thread counts.
+    ParallelFleetResult ref = runSharedScenario(
+        core::ColdStartMode::TieredReap, 1, 4, false);
+    ASSERT_GT(ref.invocations, 0);
+    EXPECT_GT(ref.snapshotBuilds, 0);
+    EXPECT_GT(ref.stagedBytes, 0);
+    EXPECT_EQ(static_cast<int>(ref.storeShards.size()), 4);
+    std::uint64_t ref_digest = ref.digest();
+    for (int threads : {2, 4, 8}) {
+        ParallelFleetResult r = runSharedScenario(
+            core::ColdStartMode::TieredReap, threads, 4, false);
+        EXPECT_EQ(r.digest(), ref_digest) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelFleet, SharedDedupBitIdenticalAcrossThreadCounts)
+{
+    // DedupReap exercises the chunked staging path: fleet-wide chunk
+    // index, per-chunk placement broadcast, sharded batched GETs.
+    ParallelFleetResult ref = runSharedScenario(
+        core::ColdStartMode::DedupReap, 1, 4, false);
+    ASSERT_GT(ref.invocations, 0);
+    EXPECT_GT(ref.chunksUploaded, 0);
+    EXPECT_GT(ref.chunksDeduped, 0);
+    EXPECT_GT(ref.dedupSavedBytes, 0);
+    std::uint64_t ref_digest = ref.digest();
+    for (int threads : {2, 4, 8}) {
+        ParallelFleetResult r = runSharedScenario(
+            core::ColdStartMode::DedupReap, threads, 4, false);
+        EXPECT_EQ(r.digest(), ref_digest) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelFleet, TrafficDrivenSharedBitIdentical)
+{
+    // Open-loop TrafficEngine arrivals (diurnal + flash crowd) on the
+    // shared data plane stay deterministic across thread counts.
+    ParallelFleetResult ref = runSharedScenario(
+        core::ColdStartMode::TieredReap, 1, 2, true);
+    ASSERT_GT(ref.invocations, 0);
+    std::uint64_t ref_digest = ref.digest();
+    for (int threads : {2, 4}) {
+        ParallelFleetResult r = runSharedScenario(
+            core::ColdStartMode::TieredReap, threads, 2, true);
+        EXPECT_EQ(r.digest(), ref_digest) << "threads=" << threads;
+    }
+}
+
 TEST(ParallelFleet, PoliciesRouteAcrossWorkers)
 {
     // Sanity: with several workers and warm-first routing, cold
