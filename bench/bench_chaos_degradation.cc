@@ -172,9 +172,16 @@ struct ShardCellResult
  * One store shard (of four) goes dark for the full duration of a
  * tenant flash crowd. The crowd's cold starts that hash to the dead
  * shard stall until it returns; the rest of the fleet keeps serving.
+ *
+ * With @p control set, the hybrid-histogram control plane is active
+ * across the outage: the crowd's repeats trigger pre-warms whose
+ * background loads pull through the partially dead store too, so the
+ * cell checks that predictive warming degrades (stalls, slower warms)
+ * without double- or zero-counting anything — every accepted
+ * invocation still lands in exactly one of cold/warm/failed.
  */
 ShardCellResult
-runShardOutageCell()
+runShardOutageCell(cluster::ControlPolicyKind control)
 {
     sim::Simulation sim;
     cluster::ClusterConfig cfg;
@@ -186,6 +193,9 @@ runShardOutageCell()
     // invocations, so the crowd's onset is a cold-start burst that
     // actually pulls through the (partially dead) shared store.
     cfg.keepAlive = sec(20);
+    cfg.controlPolicy = control;
+    if (control != cluster::ControlPolicyKind::None)
+        cfg.routingPolicy = cluster::RoutingPolicyKind::LocalityHash;
     cluster::Cluster c(sim, cfg);
 
     cluster::TrafficConfig tcfg;
@@ -280,17 +290,26 @@ main()
         json.row(cell, "wall_s", r.wall_s, r.events_per_sec);
     }
 
-    {
-        ShardCellResult r = runShardOutageCell();
+    for (cluster::ControlPolicyKind control :
+         {cluster::ControlPolicyKind::None,
+          cluster::ControlPolicyKind::HybridHistogram}) {
+        bool predictive =
+            control != cluster::ControlPolicyKind::None;
+        ShardCellResult r = runShardOutageCell(control);
         const auto &fs = r.fleet;
         double cold_pct =
             r.workload.invocations > 0
                 ? 100.0 * static_cast<double>(r.workload.coldStarts) /
                       static_cast<double>(r.workload.invocations)
                 : 0;
-        std::string cell = "workers=4/faults=shard-outage-crowd";
+        std::string cell =
+            predictive
+                ? std::string(
+                      "workers=4/faults=shard-outage-crowd/"
+                      "control=hybrid")
+                : std::string("workers=4/faults=shard-outage-crowd");
         t.row()
-            .cell("shard-outage")
+            .cell(predictive ? "outage+prewarm" : "shard-outage")
             .cell(r.workload.invocations)
             .cell(r.workload.failedInvocations)
             .cell(cold_pct, 1)
@@ -312,6 +331,14 @@ main()
                  static_cast<double>(r.faults.outageStalls));
         json.row(cell, "store_stream_waits",
                  static_cast<double>(fs.store.streamWaits));
+        if (predictive) {
+            json.row(cell, "pre_warms",
+                     static_cast<double>(fs.preWarms));
+            json.row(cell, "pre_warm_hits",
+                     static_cast<double>(fs.preWarmHits));
+            json.row(cell, "wasted_pre_warms",
+                     static_cast<double>(fs.wastedPreWarms));
+        }
         json.row(cell, "wall_s", r.wall_s, r.events_per_sec);
     }
     t.print();

@@ -72,6 +72,16 @@ Cluster::Cluster(sim::Simulation &sim, ClusterConfig config)
             sim, *_sharedStore, workers, cfg.coldStartMode);
     }
     activePolicy = &_policies.policyFor(cfg.routingPolicy);
+    if (cfg.controlPolicy != ControlPolicyKind::None)
+        activeControl = &_controlPolicies.policyFor(cfg.controlPolicy);
+}
+
+void
+Cluster::setControlPolicy(ControlPolicyKind kind)
+{
+    activeControl = kind == ControlPolicyKind::None
+                        ? nullptr
+                        : &_controlPolicies.policyFor(kind);
 }
 
 void
@@ -173,6 +183,9 @@ Cluster::invoke(const std::string &name)
         fatal("function %s is not deployed", name.c_str());
     Deployment &dep = it->second;
 
+    if (activeControl != nullptr)
+        activeControl->noteArrival(name, sim.now());
+
     Time t0 = sim.now();
     // Front-end + fabric hop to the worker.
     net::RpcParams rpc;
@@ -240,6 +253,7 @@ Cluster::invoke(const std::string &name)
         fleetColdMs.add(toMs(e2e));
         for (const auto &t : bd.tierHits)
             mergeTierRow(tele.tierHits, t);
+        tele.wastedPrefetchPages += bd.wastedPrefetch;
         if (_registry) {
             // RemoteReap GETs the artifacts on every cold start no
             // matter what lives locally. Tiered chains report exactly
@@ -309,10 +323,24 @@ Cluster::fleetStats() const
         row.residentBytes =
             workers[i]->orchestrator().totalResidentBytes();
         row.tierHits = tele.tierHits;
+        row.wastedPrefetchPages = tele.wastedPrefetchPages;
         fs.residentBytes += row.residentBytes;
+        fs.wastedPrefetchPages += row.wastedPrefetchPages;
         for (const auto &t : tele.tierHits)
             mergeTierRow(fs.tierHits, t);
         fs.perWorker.push_back(std::move(row));
+    }
+    fs.wastedResidentByteSec = _wastedResidentByteSec;
+    fs.idleWarmInstanceSec = _idleWarmInstanceSec;
+    for (const auto &w : workers) {
+        const auto &orch = w->orchestrator();
+        fs.wastedPreWarms += orch.wastedPreWarms();
+        fs.bgPrefetches += orch.backgroundPrefetches();
+        for (const auto &entry : deployments) {
+            const core::FunctionStats &st = orch.stats(entry.first);
+            fs.preWarms += st.preWarms;
+            fs.preWarmHits += st.preWarmHits;
+        }
     }
     if (_sharedStore) {
         fs.store = _sharedStore->stats();
@@ -361,6 +389,92 @@ Cluster::resetStats()
     }
     fleetColdMs.clear();
     fleetWarmMs.clear();
+    _wastedResidentByteSec = 0;
+    _idleWarmInstanceSec = 0;
+}
+
+core::ColdStartMode
+Cluster::preWarmMode() const
+{
+    switch (cfg.coldStartMode) {
+      case core::ColdStartMode::TieredReap:
+      case core::ColdStartMode::RemoteReap:
+      case core::ColdStartMode::DedupReap:
+      case core::ColdStartMode::BackgroundWarm:
+        return core::ColdStartMode::BackgroundWarm;
+      default:
+        return cfg.coldStartMode;
+    }
+}
+
+sim::Task<void>
+Cluster::preWarmTask(std::string name, int widx)
+{
+    auto it = deployments.find(name);
+    if (it == deployments.end())
+        co_return;
+    auto &orch = workers[static_cast<size_t>(widx)]->orchestrator();
+    core::LatencyBreakdown bd =
+        co_await orch.preWarm(name, preWarmMode());
+    if (bd.total > 0 && !bd.crashed) {
+        // The pre-warmed instance is autoscaler-sanctioned activity;
+        // without this the very next sweep would reap it before the
+        // predicted arrival it was warmed for.
+        it->second.lastUsed[static_cast<size_t>(widx)] = sim.now();
+    }
+}
+
+sim::Task<void>
+Cluster::backgroundPrefetchTask(std::string name, int widx)
+{
+    co_await workers[static_cast<size_t>(widx)]
+        ->orchestrator()
+        .backgroundPrefetch(name);
+}
+
+void
+Cluster::controlTick()
+{
+    ControlTickContext ctx;
+    ctx.now = sim.now();
+    ctx.workers = workerCount();
+    ctx.coldP99Ms =
+        fleetColdMs.count() > 0 ? fleetColdMs.percentile(99) : 0.0;
+    for (const auto &tele : telemetry)
+        ctx.coldStarts += tele.coldStarts;
+    for (const auto &entry : deployments) {
+        ControlFunctionView v;
+        v.name = entry.first;
+        v.homeWorker = LocalityHashPolicy::homeWorker(entry.first,
+                                                      workerCount());
+        std::int64_t warming = 0;
+        for (const auto &w : workers) {
+            v.idleInstances +=
+                w->orchestrator().idleInstanceCount(entry.first);
+            warming += w->orchestrator().warmingCount(entry.first);
+        }
+        v.warming = warming > 0;
+        v.homeChunkResidency =
+            chunkResidency(v.homeWorker, entry.first);
+        ctx.functions.push_back(std::move(v));
+    }
+
+    std::vector<ControlAction> actions;
+    activeControl->tick(ctx, actions);
+    for (const ControlAction &a : actions) {
+        switch (a.kind) {
+          case ControlAction::Kind::PreWarm:
+            sim.spawn(preWarmTask(a.function, a.worker));
+            break;
+          case ControlAction::Kind::Prefetch:
+            sim.spawn(backgroundPrefetchTask(a.function, a.worker));
+            break;
+          case ControlAction::Kind::ScaleHint:
+            if (a.hint > 0)
+                scaleHold = std::max(scaleHold, a.hint);
+            break;
+        }
+    }
 }
 
 sim::Task<void>
@@ -368,6 +482,30 @@ Cluster::janitor()
 {
     while (!autoscalerStopping) {
         co_await sim.delay(cfg.scalePeriod);
+
+        // Warm-pool waste accounting: integrate idle-warm bytes and
+        // instance counts over the tick. Pure arithmetic, no
+        // suspension — runs identically with or without a policy, so
+        // a dormant control plane stays bit-identical to none.
+        double dt = static_cast<double>(cfg.scalePeriod) / 1e9;
+        for (const auto &w : workers) {
+            const auto &orch = w->orchestrator();
+            _wastedResidentByteSec +=
+                static_cast<double>(orch.idleResidentBytes()) * dt;
+            _idleWarmInstanceSec +=
+                static_cast<double>(orch.idleInstanceTotal()) * dt;
+        }
+
+        if (activeControl != nullptr)
+            controlTick();
+
+        if (scaleHold > 0) {
+            // A positive ScaleHint parks the sweep: cold p99 is over
+            // target, shrinking the warm pool now would make it worse.
+            --scaleHold;
+            continue;
+        }
+
         for (auto &entry : deployments) {
             Deployment &dep = entry.second;
             for (size_t i = 0; i < workers.size(); ++i) {

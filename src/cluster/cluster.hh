@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/control_policy.hh"
 #include "cluster/fleet_stats.hh"
 #include "cluster/routing_policy.hh"
 #include "cluster/snapshot_registry.hh"
@@ -66,6 +67,14 @@ struct ClusterConfig
 
     /** Which RoutingPolicy the front-end dispatches through. */
     RoutingPolicyKind routingPolicy = RoutingPolicyKind::WarmFirst;
+
+    /**
+     * Which predictive ControlPolicy the autoscaler runs each
+     * scalePeriod (pre-warming, chunk prefetch, scale hints). None
+     * (default) keeps the janitor's plain keep-alive sweep
+     * bit-identical to the historical behaviour.
+     */
+    ControlPolicyKind controlPolicy = ControlPolicyKind::None;
 
     /**
      * Cross-worker snapshot sharing (Sec. 7.1 at fleet scale): build
@@ -205,6 +214,18 @@ class Cluster : private FleetView
     /** The active routing policy. */
     RoutingPolicy &routingPolicy() { return *activePolicy; }
 
+    /** The control-policy registry (extension point). */
+    ControlPolicyRegistry &controlPolicies()
+    {
+        return _controlPolicies;
+    }
+
+    /** Switch the active control policy (None detaches). */
+    void setControlPolicy(ControlPolicyKind kind);
+
+    /** The active control policy; null when None. */
+    ControlPolicy *controlPolicy() { return activeControl; }
+
     /** Shared snapshot registry; null unless sharedSnapshots. */
     SnapshotRegistry *snapshotRegistry() { return _registry.get(); }
 
@@ -246,6 +267,7 @@ class Cluster : private FleetView
         std::int64_t inFlight = 0;
         std::int64_t inFlightPeak = 0;
         std::vector<core::TierBreakdown> tierHits;
+        std::int64_t wastedPrefetchPages = 0;
     };
 
     /** @name FleetView (the slice policies may consult). */
@@ -263,6 +285,23 @@ class Cluster : private FleetView
     /** Keep-alive janitor loop. */
     sim::Task<void> janitor();
 
+    /**
+     * The ColdStartMode pre-warm actions load through: Sec. 6.3
+     * background working-set warming for the tiered/remote family
+     * (yield store streams to foreground colds), the configured mode
+     * itself otherwise (plain Reap must not gain tiered staging).
+     */
+    core::ColdStartMode preWarmMode() const;
+
+    /** Detached pre-warm issued by a control action. */
+    sim::Task<void> preWarmTask(std::string name, int widx);
+
+    /** Detached background prefetch issued by a control action. */
+    sim::Task<void> backgroundPrefetchTask(std::string name, int widx);
+
+    /** Run the active policy's tick and apply its actions. */
+    void controlTick();
+
     sim::Simulation &sim;
     ClusterConfig cfg;
     /** Fleet-shared object store; created before the workers that
@@ -273,6 +312,19 @@ class Cluster : private FleetView
     std::map<std::string, Deployment> deployments;
     RoutingPolicyRegistry _policies;
     RoutingPolicy *activePolicy = nullptr;
+    ControlPolicyRegistry _controlPolicies;
+
+    /** Active control policy; null when kind is None (the janitor's
+     * tick is then pure keep-alive, bit-identical to no policy). */
+    ControlPolicy *activeControl = nullptr;
+
+    /** Sweep rounds the janitor skips (positive ScaleHint). */
+    int scaleHold = 0;
+
+    /** Satellite accounting integrated each scalePeriod. */
+    double _wastedResidentByteSec = 0;
+    double _idleWarmInstanceSec = 0;
+
     std::vector<WorkerTelemetry> telemetry;
     Samples fleetColdMs;
     Samples fleetWarmMs;

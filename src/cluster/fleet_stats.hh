@@ -37,6 +37,11 @@ struct WorkerFleetRow
 
     /** Summed LatencyBreakdown::tierHits of this worker's colds. */
     std::vector<core::TierBreakdown> tierHits;
+
+    /** Summed LatencyBreakdown::wastedPrefetch of this worker's
+     * colds — WS pages prefetched but not touched by the served
+     * input (Sec. 6.2 record/replay input-drift waste). */
+    std::int64_t wastedPrefetchPages = 0;
 };
 
 /** Fleet-level aggregate over all workers and deployed functions. */
@@ -72,6 +77,44 @@ struct FleetStats
      * reproduces the aggregate.
      */
     std::vector<net::ObjectStoreStats> storeShards;
+
+    /**
+     * @name Warm-pool waste accounting (the denominator of every
+     * keep-alive / pre-warm policy comparison): how much memory sat
+     * resident without serving.
+     */
+    /// @{
+
+    /**
+     * Byte-seconds of instance memory held by idle warm instances,
+     * integrated by the autoscaler each scalePeriod. This is the
+     * resource bill of a keep-alive/pre-warm policy; the control
+     * frontier weighs it against cold p99.
+     */
+    double wastedResidentByteSec = 0;
+
+    /** Instance-seconds spent idle-warm (same integration). */
+    double idleWarmInstanceSec = 0;
+
+    /** Fleet sum of per-worker wastedPrefetchPages. */
+    std::int64_t wastedPrefetchPages = 0;
+    /// @}
+
+    /** @name Predictive control plane (zero when the policy is None). */
+    /// @{
+
+    /** Pre-warm loads completed across the fleet. */
+    std::int64_t preWarms = 0;
+
+    /** Invocations served by a pre-warmed (or mid-warm) instance. */
+    std::int64_t preWarmHits = 0;
+
+    /** Pre-warmed instances retired without ever serving. */
+    std::int64_t wastedPreWarms = 0;
+
+    /** Background chunk/artifact prefetches that moved bytes. */
+    std::int64_t bgPrefetches = 0;
+    /// @}
 
     /** @name Snapshot-registry staging counters (shared mode only). */
     /// @{

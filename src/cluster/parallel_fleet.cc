@@ -48,6 +48,8 @@ ParallelFleetResult::digest() const
     fnvMix(h, static_cast<std::uint64_t>(coldStarts));
     fnvMix(h, static_cast<std::uint64_t>(warmHits));
     fnvMix(h, static_cast<std::uint64_t>(scaleDowns));
+    fnvMix(h, static_cast<std::uint64_t>(preWarms));
+    fnvMix(h, static_cast<std::uint64_t>(preWarmHits));
     fnvMix(h, static_cast<std::uint64_t>(eventsProcessed));
     fnvMix(h, static_cast<std::uint64_t>(windows));
     fnvMix(h, static_cast<std::uint64_t>(messages));
@@ -116,6 +118,9 @@ ParallelFleet::ParallelFleet(ParallelFleetConfig config)
                       std::vector<std::int64_t>(mix.size(), 0));
     mirrorInFlight.assign(static_cast<std::size_t>(cfg.workers), 0);
     activePolicy = &policies.policyFor(cfg.routingPolicy);
+    preWarmInFlight.assign(mix.size(), 0);
+    if (cfg.controlPolicy != ControlPolicyKind::None)
+        activeControl = &controlPolicies.policyFor(cfg.controlPolicy);
 
     if (cfg.sharedSnapshots) {
         net::ShardedStoreParams sp;
@@ -568,6 +573,20 @@ ParallelFleet::workerMain(int w)
                                     0, 0});
 }
 
+core::ColdStartMode
+ParallelFleet::preWarmMode() const
+{
+    switch (cfg.coldStartMode) {
+      case core::ColdStartMode::TieredReap:
+      case core::ColdStartMode::RemoteReap:
+      case core::ColdStartMode::DedupReap:
+      case core::ColdStartMode::BackgroundWarm:
+        return core::ColdStartMode::BackgroundWarm;
+      default:
+        return cfg.coldStartMode;
+    }
+}
+
 sim::Task<void>
 ParallelFleet::workerInvoke(int w, WorkerMsg msg)
 {
@@ -575,6 +594,27 @@ ParallelFleet::workerInvoke(int w, WorkerMsg msg)
     auto &orch = node.worker->orchestrator();
     const std::string &name =
         mix[static_cast<std::size_t>(msg.fnIdx)].profile.name;
+
+    if (msg.preWarm) {
+        // Control-plane pre-warm: load an instance ahead of the
+        // predicted arrival, don't serve anything. Refresh keep-alive
+        // only when an instance actually came up — a no-op or crashed
+        // pre-warm must not extend a dead function's residency.
+        auto pbd = co_await orch.preWarm(name, preWarmMode());
+        if (pbd.total > 0 && !pbd.crashed)
+            node.lastUsed[static_cast<std::size_t>(msg.fnIdx)] =
+                kernel.sim(1 + w).now();
+        --node.liveInvokes;
+
+        ControlMsg reply;
+        reply.kind = ControlMsg::Done;
+        reply.reqId = msg.reqId;
+        reply.fnIdx = msg.fnIdx;
+        reply.preWarm = true;
+        reply.idleNow = orch.idleInstanceCount(name);
+        node.toControl->send(reply);
+        co_return;
+    }
 
     core::InvokeOptions opts;
     opts.keepWarm = true;
@@ -602,6 +642,7 @@ ParallelFleet::workerInvoke(int w, WorkerMsg msg)
     reply.reqId = msg.reqId;
     reply.fnIdx = msg.fnIdx;
     reply.cold = bd.cold;
+    reply.preWarmHit = bd.preWarmHit;
     reply.idleNow = orch.idleInstanceCount(name);
     node.toControl->send(reply);
 }
@@ -660,15 +701,25 @@ ParallelFleet::replyPump(int w, sim::Latch *ready, sim::Latch *byes)
             mirrorIdle[static_cast<std::size_t>(w)]
                       [static_cast<std::size_t>(msg.fnIdx)] =
                 msg.idleNow;
-            --mirrorInFlight[static_cast<std::size_t>(w)];
-            ++result.invocations;
-            result.e2eLatencyMs.add(toMs(e2e));
-            if (msg.cold) {
-                ++result.coldStarts;
-                result.coldE2eMs.add(toMs(e2e));
+            if (msg.preWarm) {
+                // A pre-warm is not an invocation: it refreshes the
+                // mirror and frees the in-flight guard, nothing else.
+                preWarmInFlight[static_cast<std::size_t>(msg.fnIdx)] =
+                    0;
+                ++result.preWarms;
             } else {
-                ++result.warmHits;
-                result.warmE2eMs.add(toMs(e2e));
+                --mirrorInFlight[static_cast<std::size_t>(w)];
+                ++result.invocations;
+                result.e2eLatencyMs.add(toMs(e2e));
+                if (msg.preWarmHit)
+                    ++result.preWarmHits;
+                if (msg.cold) {
+                    ++result.coldStarts;
+                    result.coldE2eMs.add(toMs(e2e));
+                } else {
+                    ++result.warmHits;
+                    result.warmE2eMs.add(toMs(e2e));
+                }
             }
             if (pr.done != nullptr)
                 pr.done->openGate();
@@ -698,6 +749,11 @@ ParallelFleet::dispatch(int fn_idx, sim::Gate *done)
 
     int widx = activePolicy->route(RouteContext{name, view});
     VHIVE_ASSERT(widx >= 0 && widx < cfg.workers);
+
+    // Arrival history feeds prediction; pre-warms never land here,
+    // so the policy only ever learns from real invocations.
+    if (activeControl)
+        activeControl->noteArrival(name, csim.now());
 
     std::int64_t id = nextReqId++;
     PendingReq pr;
@@ -773,6 +829,78 @@ ParallelFleet::trafficArrivalLoop(int fn_idx, sim::Latch *done)
 }
 
 sim::Task<void>
+ParallelFleet::controlTickLoop()
+{
+    sim::Simulation &csim = kernel.sim(0);
+
+    while (!controlStopping) {
+        co_await csim.delay(cfg.controlPeriod);
+        if (controlStopping)
+            break;
+
+        ControlTickContext ctx;
+        ctx.now = csim.now();
+        ctx.workers = cfg.workers;
+        if (result.coldE2eMs.count() > 0)
+            ctx.coldP99Ms = result.coldE2eMs.percentile(99);
+        ctx.coldStarts = result.coldStarts;
+        ctx.functions.reserve(mix.size());
+        for (std::size_t fn = 0; fn < mix.size(); ++fn) {
+            const std::string &name = mix[fn].profile.name;
+            ControlFunctionView v;
+            v.name = name;
+            v.homeWorker = homeWorkerOf(name);
+            for (int w = 0; w < cfg.workers; ++w)
+                v.idleInstances +=
+                    mirrorIdle[static_cast<std::size_t>(w)][fn];
+            v.warming = preWarmInFlight[fn] != 0;
+            // The mirror cannot see chunk residency; full residency
+            // suppresses Prefetch actions, which (like ScaleHint) are
+            // sequential-Cluster verbs — pre-warming is the parallel
+            // control plane's single lever.
+            v.homeChunkResidency = 1.0;
+            ctx.functions.push_back(std::move(v));
+        }
+
+        std::vector<ControlAction> actions;
+        activeControl->tick(ctx, actions);
+        for (const ControlAction &a : actions) {
+            if (a.kind != ControlAction::Kind::PreWarm)
+                continue;
+            auto it = fnIndex.find(a.function);
+            if (it == fnIndex.end())
+                continue;
+            auto fn = static_cast<std::size_t>(it->second);
+            if (preWarmInFlight[fn])
+                continue;
+            int widx = a.worker;
+            if (widx < 0 || widx >= cfg.workers)
+                widx = homeWorkerOf(a.function);
+            preWarmInFlight[fn] = 1;
+
+            // First-class pending request: the shutdown drain waits
+            // for its Done like any invocation, so workers never see
+            // traffic after Shutdown. It does not claim mirror state.
+            std::int64_t id = nextReqId++;
+            PendingReq pr;
+            pr.t0 = csim.now();
+            pr.fnIdx = static_cast<int>(fn);
+            pr.worker = widx;
+            pr.preWarm = true;
+            pending.emplace(id, pr);
+
+            WorkerMsg msg;
+            msg.kind = WorkerMsg::Invoke;
+            msg.reqId = id;
+            msg.fnIdx = static_cast<int>(fn);
+            msg.preWarm = true;
+            nodes[static_cast<std::size_t>(widx)]->fromControl->send(
+                msg);
+        }
+    }
+}
+
+sim::Task<void>
 ParallelFleet::controlMain()
 {
     sim::Simulation &csim = kernel.sim(0);
@@ -783,6 +911,9 @@ ParallelFleet::controlMain()
         csim.spawn(replyPump(w, &ready, &byes));
     co_await ready.wait();
 
+    if (activeControl)
+        csim.spawn(controlTickLoop());
+
     sim::Latch done(csim, static_cast<std::int64_t>(mix.size()));
     for (std::size_t fn = 0; fn < mix.size(); ++fn)
         csim.spawn(trafficEng
@@ -790,6 +921,12 @@ ParallelFleet::controlMain()
                                             &done)
                        : arrivalLoop(static_cast<int>(fn), &done));
     co_await done.wait();
+
+    // Stop issuing control actions before draining: a tick runs
+    // synchronously within one resumption, so after this flag no
+    // pre-warm can slip in between drain and Shutdown. Pre-warms
+    // already in flight are pending entries the drain waits out.
+    controlStopping = true;
 
     if (!pending.empty()) {
         // Open-loop stragglers: wait for every in-flight request's

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "cluster/azure_workload.hh"
+#include "cluster/control_policy.hh"
 #include "cluster/routing_policy.hh"
 #include "cluster/traffic.hh"
 #include "core/worker.hh"
@@ -98,6 +99,22 @@ struct ParallelFleetConfig
 
     /** Front-end routing strategy. */
     RoutingPolicyKind routingPolicy = RoutingPolicyKind::WarmFirst;
+
+    /**
+     * Predictive control policy, run in the control-plane domain
+     * (domain 0) against the mirrored fleet view — so predictions,
+     * like routing, trail worker reality by one fabric hop, and
+     * digests stay bit-identical across sim thread counts. Pre-warm
+     * actions travel to workers as first-class tracked requests;
+     * Prefetch and ScaleHint actions are sequential-Cluster-only and
+     * are not emitted here (the mirrored view reports full chunk
+     * residency so policies never ask). None (default) spawns no
+     * control tick at all — bit-identical to the historical kernel.
+     */
+    ControlPolicyKind controlPolicy = ControlPolicyKind::None;
+
+    /** Control-policy tick period (controlPolicy != None). */
+    Duration controlPeriod = sec(2);
 
     /** The Azure mix to synthesize and drive (closed loop). */
     AzureWorkloadConfig workload{};
@@ -157,6 +174,16 @@ struct ParallelFleetResult
     std::int64_t coldStarts = 0;
     std::int64_t warmHits = 0;
     std::int64_t scaleDowns = 0;
+
+    /** @name Predictive control plane (controlPolicy != None). */
+    /// @{
+
+    /** Pre-warm requests completed by workers. */
+    std::int64_t preWarms = 0;
+
+    /** Invocations served by a pre-warmed (or mid-warm) instance. */
+    std::int64_t preWarmHits = 0;
+    /// @}
 
     Samples e2eLatencyMs;  ///< all invocations, completion (Done-reply) order
     Samples coldE2eMs;     ///< cold-start invocations
@@ -243,6 +270,9 @@ class ParallelFleet
         enum Kind { Invoke, Shutdown } kind = Invoke;
         std::int64_t reqId = 0;
         int fnIdx = 0;
+
+        /** Invoke only: control-plane pre-warm, not an invocation. */
+        bool preWarm = false;
     };
 
     /** Worker -> control notices. */
@@ -251,6 +281,12 @@ class ParallelFleet
         std::int64_t reqId = 0;
         int fnIdx = 0;
         bool cold = false;
+
+        /** Done of a pre-warm request (not an invocation). */
+        bool preWarm = false;
+
+        /** Done of an invocation a pre-warmed instance served. */
+        bool preWarmHit = false;
 
         /** Worker's idle-instance count for fnIdx after the event. */
         std::int64_t idleNow = 0;
@@ -390,6 +426,7 @@ class ParallelFleet
         int worker = 0;
         sim::Gate *done = nullptr;
         bool cold = false;
+        bool preWarm = false;
         Duration e2e = 0;
     };
 
@@ -433,6 +470,13 @@ class ParallelFleet
         return cfg.coldStartMode == core::ColdStartMode::DedupReap;
     }
 
+    /**
+     * The ColdStartMode pre-warm requests load through: Sec. 6.3
+     * background working-set warming for the tiered/remote family,
+     * the configured mode itself otherwise (mirrors Cluster).
+     */
+    core::ColdStartMode preWarmMode() const;
+
     /** @name Worker-domain coroutines. */
     /// @{
     sim::Task<void> workerMain(int w);
@@ -462,6 +506,9 @@ class ParallelFleet
 
     /** Route + dispatch one invocation; returns its request id. */
     std::int64_t dispatch(int fn_idx, sim::Gate *done);
+
+    /** Periodic ControlPolicy tick (controlPolicy != None). */
+    sim::Task<void> controlTickLoop();
     /// @}
 
     ParallelFleetConfig cfg;
@@ -487,6 +534,16 @@ class ParallelFleet
     /// @{
     RoutingPolicyRegistry policies;
     RoutingPolicy *activePolicy = nullptr;
+    ControlPolicyRegistry controlPolicies;
+
+    /** Active control policy; null when kind is None. */
+    ControlPolicy *activeControl = nullptr;
+
+    /** Per-function pre-warm already issued and not yet Done. */
+    std::vector<char> preWarmInFlight;
+
+    /** Set after traffic drains; stops the control tick loop. */
+    bool controlStopping = false;
     MirrorView view{*this};
     std::vector<std::vector<std::int64_t>> mirrorIdle; // [w][fn]
     std::vector<std::int64_t> mirrorInFlight;          // [w]

@@ -131,6 +131,37 @@ TrafficEngine::TrafficEngine(TrafficConfig config) : cfg(std::move(config))
             std::pow(static_cast<double>(i + 1), -cfg.zipfExponent) /
             norm);
 
+    // Periodic (cron-like) class: membership, period and phase from
+    // one named stream, three draws per function regardless of
+    // outcome so one function's membership never shifts another's
+    // period.
+    VHIVE_ASSERT(cfg.periodicFraction >= 0 &&
+                 cfg.periodicFraction <= 1);
+    VHIVE_ASSERT(cfg.periodicJitter >= 0 && cfg.periodicJitter < 0.5);
+    VHIVE_ASSERT(cfg.periodicMinPeriod > 0 &&
+                 cfg.periodicMaxPeriod >= cfg.periodicMinPeriod);
+    periods.assign(static_cast<size_t>(cfg.functions), 0);
+    phases.assign(static_cast<size_t>(cfg.functions), 0);
+    if (cfg.periodicFraction > 0) {
+        Rng prng(cfg.seed, "traffic-periodic");
+        double lo =
+            std::log(static_cast<double>(cfg.periodicMinPeriod));
+        double hi =
+            std::log(static_cast<double>(cfg.periodicMaxPeriod));
+        for (int i = 0; i < cfg.functions; ++i) {
+            bool in = prng.chance(cfg.periodicFraction);
+            double u = prng.uniform();
+            double v = prng.uniform();
+            if (!in)
+                continue;
+            auto period = static_cast<Duration>(
+                std::exp(lo + u * (hi - lo)));
+            periods[static_cast<size_t>(i)] = period;
+            phases[static_cast<size_t>(i)] =
+                static_cast<Duration>(v * static_cast<double>(period));
+        }
+    }
+
     // Burst membership, precomputed per burst from its own stream so
     // adding a burst never perturbs another burst's membership.
     burstMembers.reserve(cfg.bursts.size());
@@ -181,6 +212,8 @@ TrafficEngine::diurnalFactor(Duration t) const
 double
 TrafficEngine::rateAt(int fn, Duration t) const
 {
+    if (isPeriodic(fn))
+        return 1e9 / static_cast<double>(periodOf(fn));
     double rate = baseRate(fn) * diurnalFactor(t);
     for (size_t b = 0; b < cfg.bursts.size(); ++b) {
         const BurstSpec &spec = cfg.bursts[b];
@@ -194,6 +227,8 @@ TrafficEngine::rateAt(int fn, Duration t) const
 double
 TrafficEngine::peakRate(int fn) const
 {
+    if (isPeriodic(fn))
+        return 1e9 / static_cast<double>(periodOf(fn));
     return baseRate(fn) * (1.0 + cfg.diurnal.amplitude) *
            burstPeaks[static_cast<size_t>(fn)];
 }
@@ -220,6 +255,22 @@ TrafficEngine::expectedArrivals(int fn, Duration t0, Duration t1) const
 Duration
 TrafficEngine::nextArrival(int fn, Duration now, Rng &rng) const
 {
+    if (Duration period = periodOf(fn); period > 0) {
+        // Timer arrivals: the first grid point strictly after @p now,
+        // plus a small uniform jitter. Exactly one draw per arrival,
+        // so the stream stays aligned for every consumer (sequential
+        // driver, parallel fleet, oracle replay).
+        Duration phase = phases[static_cast<size_t>(fn)];
+        std::int64_t k =
+            now < phase ? 0 : (now - phase) / period + 1;
+        Duration jitter = static_cast<Duration>(
+            rng.uniform() * cfg.periodicJitter *
+            static_cast<double>(period));
+        Duration t = phase + k * period + jitter;
+        if (t <= now)
+            t = phase + (k + 1) * period + jitter;
+        return t;
+    }
     // Lewis-Shedler thinning: candidate gaps at the envelope rate,
     // accepted with probability rate(t)/peak. Acceptance is bounded
     // below by (1 - amplitude) / ((1 + amplitude) * burstPeak) > 0,

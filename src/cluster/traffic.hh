@@ -179,6 +179,23 @@ struct TrafficConfig
     DiurnalShape diurnal{};
     std::vector<BurstSpec> bursts;
 
+    /**
+     * Fraction of the population invoked on a timer (the cron-like
+     * periodic class of the Azure characterization) instead of
+     * Poisson arrivals. Membership, per-function period (log-uniform
+     * in [periodicMinPeriod, periodicMaxPeriod]) and phase are drawn
+     * from the seed; a timer neither flash-crowds nor follows the
+     * diurnal curve, so periodic functions ignore burst and diurnal
+     * modulation (and their Zipf rate share — aggregateRps then only
+     * approximates the population total). 0 disables the class.
+     */
+    double periodicFraction = 0;
+    Duration periodicMinPeriod = sec(60);
+    Duration periodicMaxPeriod = sec(480);
+
+    /** Per-arrival uniform timer jitter, as a fraction of the period. */
+    double periodicJitter = 0.05;
+
     std::uint64_t seed = 0x7ea41c;
 
     /** Profile synthesis: same semantics as AzureWorkloadConfig. */
@@ -227,6 +244,18 @@ class TrafficEngine
         return baseRates[static_cast<size_t>(fn)];
     }
 
+    /** Whether @p fn fires on a timer instead of Poisson arrivals. */
+    bool isPeriodic(int fn) const
+    {
+        return periods[static_cast<size_t>(fn)] > 0;
+    }
+
+    /** Timer period of @p fn (0 when not periodic). */
+    Duration periodOf(int fn) const
+    {
+        return periods[static_cast<size_t>(fn)];
+    }
+
     /** Instantaneous rate of @p fn at @p t since traffic start. */
     double rateAt(int fn, Duration t) const;
 
@@ -252,6 +281,8 @@ class TrafficEngine
     std::vector<double> baseRates;
     std::vector<std::vector<bool>> burstMembers;
     std::vector<double> burstPeaks; ///< per-fn product of multipliers
+    std::vector<Duration> periods;  ///< timer period, 0 = Poisson
+    std::vector<Duration> phases;   ///< timer phase in [0, period)
 };
 
 /** Results of one open-loop traffic run. */

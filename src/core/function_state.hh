@@ -19,6 +19,7 @@
 #include "core/ws_file.hh"
 #include "func/profile.hh"
 #include "mem/uffd.hh"
+#include "sim/sync.hh"
 #include "storage/file_store.hh"
 #include "util/units.hh"
 #include "vmm/microvm.hh"
@@ -38,6 +39,12 @@ struct FunctionStats
 
     /** Cold starts torn down by an injected WorkerCrash fault. */
     std::int64_t crashes = 0;
+
+    /** Pre-warm cold paths completed (warmupOnly; not invocations). */
+    std::int64_t preWarms = 0;
+
+    /** Invocations served warm by a pre-warmed instance's first use. */
+    std::int64_t preWarmHits = 0;
 };
 
 /** One live instance: VM + (optional) uffd/monitor pair. */
@@ -50,6 +57,19 @@ struct Instance
     std::int64_t residualBaseline = 0;
     std::int64_t lastInput = -1;
     Time lastUsedAt = 0;
+
+    /**
+     * Pre-warm lifecycle (control plane). `warming` is set while the
+     * warmupOnly cold path is still running; an invoke arriving then
+     * waits on `readyGate` and lands on a partially-warmed instance
+     * instead of starting a full cold one. `preWarmed` marks a
+     * completed pre-warm that has not served yet — cleared (and
+     * counted as a hit) on first serve, or counted as wasted if the
+     * instance is retired still holding it.
+     */
+    bool warming = false;
+    bool preWarmed = false;
+    std::shared_ptr<sim::Gate> readyGate;
 
     /**
      * Orchestrator-unique id, never reused (unlike the instance's

@@ -254,9 +254,14 @@ PrefetchLoader::load(LoadContext ctx)
     std::int64_t faults0 = inst.uffd->stats().faultsDelivered;
     co_await inst.vm->resumeVcpus();
 
-    auto res = co_await inst.vm->serveInvocation(ctx.trace,
-                                                 &ctx.objectStore);
-    noteServe(bd, res);
+    if (!ctx.opts.warmupOnly) {
+        auto res = co_await inst.vm->serveInvocation(ctx.trace,
+                                                     &ctx.objectStore);
+        noteServe(bd, res);
+    }
+    // Pre-warm (warmupOnly): the instance is left resumed and idle
+    // with its working set installed; the first real invocation serves
+    // warm on it.
     bd.residualFaults = inst.uffd->stats().faultsDelivered - faults0;
     bd.total = ctx.sim.now() - t0;
     inst.residualBaseline = inst.uffd->stats().faultsDelivered;
@@ -443,6 +448,14 @@ TieredReapLoader::fetchWs(LoadContext &ctx,
     co_await pipeline.fetchWindowedTimed(0, len,
                                          ctx.reap.tieredWindowBytes,
                                          ctx.reap.tieredInFlight, out);
+    promoteArtifactsLocal(ctx, pipeline, len);
+}
+
+void
+TieredReapLoader::promoteArtifactsLocal(LoadContext &ctx,
+                                        mem::PageFetchPipeline &pipeline,
+                                        Bytes len)
+{
     // The worker holds a complete local copy only when admission put
     // one there: every byte of this fetch must have come from the
     // remote tier AND been admitted on the way through. A fetch
@@ -452,7 +465,7 @@ TieredReapLoader::fetchWs(LoadContext &ctx,
     // nothing at all.
     if (ctx.st.artifactsLocal || !ctx.reap.tieredAdmitOnMiss ||
         !ctx.reap.tieredLocalTier)
-        co_return;
+        return;
     bool remote_all = false;
     Bytes admitted = 0;
     for (const auto &t : pipeline.stats().tiers) {
@@ -469,8 +482,16 @@ TieredReapLoader::fetchWs(LoadContext &ctx,
 
 // ---------------------------------------------------------- DedupReap
 
+namespace {
+
+/**
+ * Chunked remote backstop over the function's WS manifest, pinned
+ * against a concurrent invalidateRecord(). Shared by DedupReap and
+ * BackgroundWarm (which keeps the chunked path for content-addressed
+ * functions).
+ */
 std::unique_ptr<mem::PageSource>
-DedupReapLoader::makeBackstop(LoadContext &ctx) const
+chunkedBackstop(const LoadContext &ctx)
 {
     VHIVE_ASSERT(ctx.st.manifests != nullptr);
     auto src = std::make_unique<mem::ChunkPageSource>(
@@ -482,6 +503,37 @@ DedupReapLoader::makeBackstop(LoadContext &ctx) const
     // that release.
     src->retain(ctx.st.manifests);
     return src;
+}
+
+/**
+ * Chunked VMM-state transfer: the state manifest's chunks arrive as
+ * batched compressed GETs (minus the worker's chunk-cache holdings)
+ * and land in the local state file. Shared for the same reason.
+ */
+sim::Task<void>
+chunkedStateRestore(LoadContext ctx)
+{
+    VHIVE_ASSERT(ctx.st.manifests != nullptr);
+    // Pinned: a concurrent invalidateRecord() must not free the
+    // manifest mid-read.
+    auto pinned = ctx.st.manifests;
+    mem::ChunkPageSource state_src(ctx.sim, ctx.artifactStore,
+                                   pinned->vmmState,
+                                   &ctx.localChunks,
+                                   chunkParams(ctx.reap),
+                                   &ctx.chunkFlights,
+                                   artifactKey(ctx).scope);
+    co_await state_src.readAll();
+    co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
+                                  ctx.vmmParams.vmmStateSize);
+}
+
+} // namespace
+
+std::unique_ptr<mem::PageSource>
+DedupReapLoader::makeBackstop(LoadContext &ctx) const
+{
+    return chunkedBackstop(ctx);
 }
 
 sim::Task<void>
@@ -521,19 +573,54 @@ DedupReapLoader::preRestore(LoadContext ctx)
     // cache already holds) and land in the local state file.
     if (ctx.st.artifactsLocal)
         co_return;
-    VHIVE_ASSERT(ctx.st.manifests != nullptr);
-    // Pinned for the same reason as makeBackstop(): a concurrent
-    // invalidateRecord() must not free the manifest mid-read.
-    auto pinned = ctx.st.manifests;
-    mem::ChunkPageSource state_src(ctx.sim, ctx.artifactStore,
-                                   pinned->vmmState,
-                                   &ctx.localChunks,
-                                   chunkParams(ctx.reap),
-                                   &ctx.chunkFlights,
-                                   artifactKey(ctx).scope);
-    co_await state_src.readAll();
-    co_await ctx.fs.writeBuffered(ctx.st.snapshot.vmmState, 0,
-                                  ctx.vmmParams.vmmStateSize);
+    co_await chunkedStateRestore(ctx);
+}
+
+// ------------------------------------------------------ BackgroundWarm
+
+sim::Task<void>
+BackgroundWarmLoader::ensureStaged(LoadContext ctx)
+{
+    // Content-addressed functions were chunk-staged by the dedup
+    // loader or the fleet registry; blob staging would double-count
+    // the artifact bytes. Blob-addressed functions keep the tiered
+    // (blob) staging path.
+    if (ctx.st.manifests != nullptr)
+        co_return;
+    co_await TieredReapLoader::ensureStaged(ctx);
+}
+
+sim::Task<void>
+BackgroundWarmLoader::preRestore(LoadContext ctx)
+{
+    if (ctx.st.artifactsLocal)
+        co_return;
+    if (ctx.st.manifests != nullptr) {
+        co_await chunkedStateRestore(ctx);
+        co_return;
+    }
+    co_await TieredReapLoader::preRestore(ctx);
+}
+
+sim::Task<void>
+BackgroundWarmLoader::fetchWs(LoadContext &ctx,
+                              mem::PageFetchPipeline &pipeline,
+                              Bytes len, Duration *out)
+{
+    // The background shape: one window in flight, AIMD-sized, with a
+    // pacing pause between windows — warming cedes store streams and
+    // fabric to concurrent foreground cold starts.
+    co_await pipeline.fetchBackgroundTimed(0, len, ctx.reap.bgWarmPace,
+                                           out);
+    promoteArtifactsLocal(ctx, pipeline, len);
+}
+
+std::unique_ptr<mem::PageSource>
+BackgroundWarmLoader::makeBackstop(LoadContext &ctx) const
+{
+    if (ctx.st.manifests != nullptr)
+        return chunkedBackstop(ctx);
+    return TieredReapLoader::makeBackstop(ctx);
 }
 
 } // namespace vhive::core::loader

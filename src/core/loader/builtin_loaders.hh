@@ -197,6 +197,15 @@ class TieredReapLoader : public RemoteReapLoader
      */
     virtual std::unique_ptr<mem::PageSource>
     makeBackstop(LoadContext &ctx) const;
+
+    /**
+     * Post-fetch bookkeeping shared by the tiered fetch shapes: mark
+     * the worker's artifact copy local when the whole fetch came from
+     * the remote tier and admission re-localized every byte.
+     */
+    static void promoteArtifactsLocal(LoadContext &ctx,
+                                      mem::PageFetchPipeline &pipeline,
+                                      Bytes len);
 };
 
 /**
@@ -217,6 +226,32 @@ class DedupReapLoader final : public TieredReapLoader
   protected:
     sim::Task<void> ensureStaged(LoadContext ctx) override;
     sim::Task<void> preRestore(LoadContext ctx) override;
+    std::unique_ptr<mem::PageSource>
+    makeBackstop(LoadContext &ctx) const override;
+};
+
+/**
+ * The Sec. 6.3 background working-set warming loader: the tiered cold
+ * path with the WS fetch at background priority — sequential paced
+ * AIMD windows (PageFetchPipeline::fetchBackground) instead of N
+ * concurrent ones — so warming yields fabric headroom to foreground
+ * cold starts. Content-addressed functions (a chunk manifest exists)
+ * keep their chunked backstop and VMM-state path; staging is then the
+ * dedup/registry path's job and is never re-done here. The control
+ * plane uses this mode as its pre-warm vehicle (InvokeOptions::
+ * warmupOnly), and it works standalone as a ColdStartMode.
+ */
+class BackgroundWarmLoader final : public TieredReapLoader
+{
+  public:
+    const char *name() const override { return "bg-warm"; }
+
+  protected:
+    sim::Task<void> ensureStaged(LoadContext ctx) override;
+    sim::Task<void> preRestore(LoadContext ctx) override;
+    sim::Task<void> fetchWs(LoadContext &ctx,
+                            mem::PageFetchPipeline &pipeline, Bytes len,
+                            Duration *out) override;
     std::unique_ptr<mem::PageSource>
     makeBackstop(LoadContext &ctx) const override;
 };

@@ -22,6 +22,8 @@ LoaderRegistry::LoaderRegistry()
                    std::make_unique<TieredReapLoader>());
     registerLoader(ColdStartMode::DedupReap,
                    std::make_unique<DedupReapLoader>());
+    registerLoader(ColdStartMode::BackgroundWarm,
+                   std::make_unique<BackgroundWarmLoader>());
     _recordLoader = std::make_unique<RecordLoader>();
 }
 

@@ -72,6 +72,18 @@ enum class ColdStartMode
      * function — already pulled them into the worker's chunk cache.
      */
     DedupReap,
+
+    /**
+     * Background working-set warming (the Sec. 6.3 follow-on): the
+     * TieredReap/DedupReap fetch path at background priority —
+     * sequential AIMD windows, paced, one in flight — so warming
+     * traffic yields fabric headroom to foreground cold starts. Used
+     * directly as a mode, and by the control plane as the pre-warm
+     * vehicle: an invocation arriving mid-warm waits for the warm to
+     * finish (a partially-warmed start) instead of paying a full cold
+     * path.
+     */
+    BackgroundWarm,
 };
 
 /** Human-readable mode name. */
@@ -97,6 +109,14 @@ struct InvokeOptions
      * methodology (Sec. 4.1) simulating long inter-invocation gaps.
      */
     bool flushPageCache = false;
+
+    /**
+     * Pre-warm: run the full cold-start path (restore + WS install)
+     * but do not serve an invocation — the instance is left warm and
+     * idle for a later request. Set by the control plane's pre-warm
+     * actions; implies the invocation counters are not bumped.
+     */
+    bool warmupOnly = false;
 };
 
 /** REAP mechanism knobs (ablation points; defaults match the paper). */
@@ -219,6 +239,15 @@ struct ReapOptions
 
     /** Max chunks coalesced into one batched ranged GET. */
     int chunkBatch = 16;
+
+    // -------------------------------------------- BackgroundWarm knobs
+
+    /**
+     * Pause between background-warm fetch windows (and between chunk
+     * batches of a background chunk prefetch): the pacing that keeps
+     * warming traffic from competing with foreground cold starts.
+     */
+    Duration bgWarmPace = msec(1);
 };
 
 /**
@@ -250,6 +279,8 @@ struct LatencyBreakdown
     bool recordPhase = false; ///< true if this invocation recorded
     bool crashed = false;     ///< injected WorkerCrash tore this cold
                               ///< start down; total counts lost work
+    bool preWarmHit = false;  ///< served warm by a pre-warmed instance
+                              ///< on its first use (control plane)
 
     std::int64_t majorFaults = 0;    ///< faults taken by the instance
     std::int64_t residualFaults = 0; ///< monitor-served faults after

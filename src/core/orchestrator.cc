@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/page_fetch.hh"
 #include "util/logging.hh"
 
 namespace vhive::core {
@@ -18,6 +19,7 @@ coldStartModeName(ColdStartMode mode)
       case ColdStartMode::RemoteReap: return "reap-remote";
       case ColdStartMode::TieredReap: return "reap-tiered";
       case ColdStartMode::DedupReap: return "reap-dedup";
+      case ColdStartMode::BackgroundWarm: return "bg-warm";
     }
     return "?";
 }
@@ -173,6 +175,38 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
                     st, *inst, gen.invocation(st.profile, input));
             }
         }
+        if (!opts.warmupOnly) {
+            for (auto &inst : st.instances) {
+                if (!inst->warming || !inst->readyGate)
+                    continue;
+                // A control-plane pre-warm is mid-flight: ride it
+                // instead of paying a full cold start. The gate's
+                // shared_ptr and the never-reused id survive the wait
+                // even if the instance is torn down (crash) meanwhile.
+                auto gate = inst->readyGate;
+                std::uint64_t id = inst->id;
+                co_await gate->wait();
+                Instance *cand = nullptr;
+                for (auto &i2 : st.instances) {
+                    if (i2->id == id) {
+                        cand = i2.get();
+                        break;
+                    }
+                }
+                if (cand != nullptr && !cand->busy &&
+                    cand->vm->state() == vmm::VmState::Running) {
+                    std::int64_t input = opts.inputId >= 0
+                                             ? opts.inputId
+                                             : cand->lastInput;
+                    if (input < 0)
+                        input = pickInput(st, opts);
+                    cand->lastInput = input;
+                    co_return co_await invokeWarm(
+                        st, *cand, gen.invocation(st.profile, input));
+                }
+                break; // pre-warm died; fall through to a cold start
+            }
+        }
     }
 
     std::int64_t input = pickInput(st, opts);
@@ -194,6 +228,10 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
 
     Instance &inst = createInstance(st);
     inst.lastInput = input;
+    if (opts.warmupOnly) {
+        inst.warming = true;
+        inst.readyGate = std::make_shared<sim::Gate>(sim);
+    }
 
     if (faults != nullptr) {
         // Worker crash mid-cold-start: the window's magnitude is the
@@ -206,7 +244,13 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
             ++faults->stats().workerCrashes;
             ++st.stats.crashes;
             co_await sim.delay(msec(w->magnitude));
+            // Open the ready gate after teardown so an invoke waiting
+            // on this pre-warm wakes, fails to re-locate the instance,
+            // and falls through to its own cold start.
+            auto ready = inst.readyGate;
             co_await stopInstanceByPtr(st, &inst);
+            if (ready)
+                ready->openGate();
             LatencyBreakdown crashed_bd;
             crashed_bd.cold = true;
             crashed_bd.crashed = true;
@@ -227,7 +271,17 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
     else
         bd = co_await ld.load(ctx);
 
-    ++st.stats.coldInvocations;
+    if (opts.warmupOnly) {
+        // Pre-warm complete: the instance sits warm and idle, the
+        // gate releases any invoke that arrived mid-warm. Counted as
+        // a pre-warm, not a served cold invocation.
+        inst.warming = false;
+        inst.preWarmed = true;
+        inst.readyGate->openGate();
+        ++st.stats.preWarms;
+    } else {
+        ++st.stats.coldInvocations;
+    }
     bd.cold = true;
     inst.lastUsedAt = sim.now();
     bd.wastedPrefetch =
@@ -247,6 +301,11 @@ Orchestrator::invokeWarm(FunctionState &st,
 {
     inst.busy = true;
     LatencyBreakdown bd;
+    if (inst.preWarmed) {
+        inst.preWarmed = false;
+        bd.preWarmHit = true;
+        ++st.stats.preWarmHits;
+    }
     Time t0 = sim.now();
     auto res = co_await inst.vm->serveInvocation(trace, &objectStore);
     bd.connRestore = res.connRestore;
@@ -296,6 +355,8 @@ Orchestrator::stopInstance(FunctionState &st, size_t index)
     VHIVE_ASSERT(index < st.instances.size());
     Instance &inst = *st.instances[index];
     VHIVE_ASSERT(!inst.busy);
+    if (inst.preWarmed)
+        ++_wastedPreWarms;
     if (inst.uffd && inst.monitor) {
         inst.uffd->sendShutdown();
         co_await inst.monitor->doneGate().wait();
@@ -473,6 +534,108 @@ Orchestrator::totalResidentBytes() const
         for (const auto &inst : entry.second.instances)
             total += inst->vm->footprint();
     return total;
+}
+
+sim::Task<LatencyBreakdown>
+Orchestrator::preWarm(const std::string &name, ColdStartMode mode)
+{
+    FunctionState &st = state(name);
+    for (const auto &inst : st.instances) {
+        if (inst->warming ||
+            (!inst->busy &&
+             inst->vm->state() == vmm::VmState::Running)) {
+            // Already warm (or getting there): nothing to do.
+            co_return LatencyBreakdown{};
+        }
+    }
+    loader::SnapshotLoader &ld = _loaders.loaderFor(mode);
+    if ((ld.needsRecord() && !st.recorded) ||
+        (ld.needsSnapshot() && !st.hasSnapshot)) {
+        // Nothing recorded/captured to warm from yet: the function's
+        // first real invocation must run the record phase itself.
+        co_return LatencyBreakdown{};
+    }
+    InvokeOptions opts;
+    opts.keepWarm = true;
+    opts.forceCold = true;
+    opts.warmupOnly = true;
+    co_return co_await invoke(name, mode, opts);
+}
+
+sim::Task<Bytes>
+Orchestrator::backgroundPrefetch(const std::string &name)
+{
+    FunctionState &st = state(name);
+    if (!st.recorded || _bgPrefetching.count(name) > 0)
+        co_return 0;
+    _bgPrefetching.insert(name);
+    Bytes moved = 0;
+    if (st.manifests) {
+        // Content-addressed path: paced background fetch of every WS
+        // chunk neither resident nor in flight, admitted into the
+        // worker chunk cache where the next cold start finds them.
+        mem::ChunkSourceParams p;
+        p.decompressBandwidth = reap.chunkDecompressBandwidth;
+        p.perChunkDecompress = reap.chunkDecompressOverhead;
+        p.batchChunks = reap.chunkBatch;
+        std::uint64_t scope = net::placementScope(name);
+        mem::ChunkPageSource src(sim, artifactStore, st.manifests->ws,
+                                 &_localChunks, p, &_chunkFlights,
+                                 scope);
+        src.retain(st.manifests);
+        moved = co_await src.prefetchMissing(reap.bgWarmPace);
+    } else if (st.remoteStaged && !st.artifactsLocal) {
+        // Blob path: background-GET the staged WS object and land it
+        // in the local WS file (page cache + async writeback), the
+        // same admission a tiered cold start would have paid on the
+        // critical path.
+        std::uint64_t h = net::placementScope(name);
+        mem::RemoteObjectSource remote(artifactStore,
+                                       net::PlacementKey{h, h});
+        mem::PageFetchPipeline pipeline(sim, remote);
+        Bytes len = st.record.wsFileBytes();
+        co_await pipeline.fetchBackground(0, len, reap.bgWarmPace);
+        co_await fs.writeBuffered(st.wsFile, 0, len);
+        st.artifactsLocal = true;
+        moved = len;
+    }
+    if (moved > 0)
+        ++_bgPrefetches;
+    _bgPrefetching.erase(name);
+    co_return moved;
+}
+
+std::int64_t
+Orchestrator::warmingCount(const std::string &name) const
+{
+    const FunctionState &st = state(name);
+    std::int64_t warming = 0;
+    for (const auto &inst : st.instances)
+        if (inst->warming)
+            ++warming;
+    return warming;
+}
+
+Bytes
+Orchestrator::idleResidentBytes() const
+{
+    Bytes total = 0;
+    for (const auto &entry : functions)
+        for (const auto &inst : entry.second.instances)
+            if (!inst->busy)
+                total += inst->vm->footprint();
+    return total;
+}
+
+std::int64_t
+Orchestrator::idleInstanceTotal() const
+{
+    std::int64_t idle = 0;
+    for (const auto &entry : functions)
+        for (const auto &inst : entry.second.instances)
+            if (!inst->busy)
+                ++idle;
+    return idle;
 }
 
 } // namespace vhive::core

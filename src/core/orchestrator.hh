@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,43 @@ class Orchestrator
     sim::Task<LatencyBreakdown> invoke(const std::string &name,
                                        ColdStartMode mode,
                                        InvokeOptions opts = InvokeOptions());
+
+    /**
+     * Control-plane pre-warm: run @p mode's cold path with
+     * InvokeOptions::warmupOnly — restore, install the working set,
+     * resume — but serve no invocation, leaving the instance warm and
+     * idle. No-op when an idle or warming instance already exists. An
+     * invoke() arriving while the pre-warm is mid-flight waits on the
+     * instance's ready gate and lands warm (a partially-warmed start).
+     */
+    sim::Task<LatencyBreakdown> preWarm(const std::string &name,
+                                        ColdStartMode mode);
+
+    /**
+     * Control-plane chunk/artifact prefetch: warm this worker's caches
+     * for @p name in the background without starting an instance.
+     * Content-addressed functions fetch their missing WS-manifest
+     * chunks (ChunkPageSource::prefetchMissing, paced); blob-staged
+     * functions without a local artifact copy background-fetch the WS
+     * object through the tiered admission path. Requires a recorded
+     * working set (no-op otherwise). @return bytes moved.
+     */
+    sim::Task<Bytes> backgroundPrefetch(const std::string &name);
+
+    /** Instances of @p name with a pre-warm currently in flight. */
+    std::int64_t warmingCount(const std::string &name) const;
+
+    /** Pre-warmed instances retired without ever serving. */
+    std::int64_t wastedPreWarms() const { return _wastedPreWarms; }
+
+    /** Background prefetches performed (backgroundPrefetch calls). */
+    std::int64_t backgroundPrefetches() const { return _bgPrefetches; }
+
+    /** Resident bytes held by idle (warm, not busy) instances. */
+    Bytes idleResidentBytes() const;
+
+    /** Idle (warm, not busy) instances across all functions. */
+    std::int64_t idleInstanceTotal() const;
 
     /** Gracefully stop and reclaim all instances of @p name. */
     sim::Task<void> stopAllInstances(const std::string &name);
@@ -295,6 +333,11 @@ class Orchestrator
     std::int64_t _capacityEvictions = 0;
     std::int64_t _snapshotBuilds = 0;
     std::uint64_t _nextInstanceId = 0;
+    std::int64_t _wastedPreWarms = 0;
+    std::int64_t _bgPrefetches = 0;
+
+    /** Functions with a background prefetch in flight (single-flight). */
+    std::set<std::string> _bgPrefetching;
 
     /** Control-plane CPU cost of handling one cold start. */
     static constexpr Duration kControlPlaneCost = msec(2);

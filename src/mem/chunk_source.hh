@@ -128,7 +128,27 @@ class ChunkPageSource final : public PageSource
     /** Fetch every chunk of the manifest (bulk artifact transfer). */
     sim::Task<void> readAll();
 
+    /**
+     * Background prefetch: fetch every manifest chunk not already
+     * resident or in flight, one shard group at a time with a @p pace
+     * pause between batches (the chunk-level analogue of
+     * PageFetchPipeline::fetchBackground). Never waits on other
+     * readers' flights — the point is warming, not serving a read.
+     * @return raw bytes fetched.
+     */
+    sim::Task<Bytes> prefetchMissing(Duration pace);
+
   private:
+    /**
+     * Fetch one shard's group of missing chunk indices as batched
+     * GETs: transfer, decompress, admit, open flight gates. @p pace
+     * inserts a pause between batches (background prefetch); @p done,
+     * when non-null, is arrived at on completion (concurrent per-shard
+     * issue from read()).
+     */
+    sim::Task<void> fetchGroup(std::vector<size_t> group, Duration pace,
+                               sim::Latch *done);
+
     sim::Simulation &sim;
     net::ArtifactStore &store;
     const storage::ChunkManifest &manifest;

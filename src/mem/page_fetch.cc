@@ -285,6 +285,44 @@ PageFetchPipeline::fetchAdaptive(Bytes offset, Bytes len, int inFlight)
 }
 
 sim::Task<void>
+PageFetchPipeline::fetchBackground(Bytes offset, Bytes len,
+                                   Duration pace)
+{
+    co_await fetchBackgroundTimed(offset, len, pace, nullptr);
+}
+
+sim::Task<void>
+PageFetchPipeline::fetchBackgroundTimed(Bytes offset, Bytes len,
+                                        Duration pace, Duration *out)
+{
+    ++_stats.backgroundFetches;
+    _stats.bytesFetched += len;
+    Time t0 = sim.now();
+    // The adaptive controller sizes the windows, but the shape is the
+    // opposite of fetchAdaptive: one GET in flight and a pacing pause
+    // between windows, so a concurrent foreground fetch sees at most
+    // one background GET ahead of it per stream.
+    AdaptiveState st(sim, adaptive, 1);
+    Bytes cursor = offset;
+    const Bytes end = offset + len;
+    while (cursor < end) {
+        Bytes n = std::min(st.window, end - cursor);
+        Time w0 = sim.now();
+        co_await source.read(cursor, n);
+        st.observe(n, sim.now() - w0);
+        ++st.windowsIssued;
+        cursor += n;
+        if (pace > 0 && cursor < end)
+            co_await sim.delay(pace);
+    }
+    _stats.windowsIssued += st.windowsIssued;
+    _stats.convergedWindowBytes = st.window;
+    snapshotTiers();
+    if (out != nullptr)
+        *out = sim.now() - t0;
+}
+
+sim::Task<void>
 PageFetchPipeline::pageWorker(const std::vector<std::int64_t> &pages,
                               size_t begin, size_t stride,
                               UserFaultFd &uffd, GuestMemory &guest,

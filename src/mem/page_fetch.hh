@@ -89,6 +89,9 @@ struct PageFetchStats
     /** Adaptive (windowBytes == 0) fetches performed. */
     std::int64_t adaptiveFetches = 0;
 
+    /** Background-priority fetches performed (fetchBackground). */
+    std::int64_t backgroundFetches = 0;
+
     /** Window size the last adaptive fetch converged on. */
     Bytes convergedWindowBytes = 0;
 
@@ -164,6 +167,21 @@ class PageFetchPipeline
     sim::Task<void> fetchWindowedTimed(Bytes offset, Bytes len,
                                        Bytes windowBytes, int inFlight,
                                        Duration *out);
+
+    /**
+     * Background-priority shape: the AIMD-sized windows of the
+     * adaptive fetch, but strictly sequential (one in flight) with a
+     * @p pace pause between windows. Moves exactly the same bytes as
+     * fetchContiguous(); used by background working-set warming and
+     * schedule-driven chunk prefetch, where yielding store streams to
+     * foreground cold starts matters more than fetch latency.
+     */
+    sim::Task<void> fetchBackground(Bytes offset, Bytes len,
+                                    Duration pace);
+
+    /** Timed variant of fetchBackground (see fetchContiguousTimed). */
+    sim::Task<void> fetchBackgroundTimed(Bytes offset, Bytes len,
+                                         Duration pace, Duration *out);
 
     /** AIMD constants of the adaptive windowed shape (mutable). */
     AdaptiveWindowParams &adaptiveParams() { return adaptive; }

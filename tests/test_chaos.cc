@@ -31,6 +31,7 @@
 #include "cluster/cluster.hh"
 #include "cluster/parallel_fleet.hh"
 #include "cluster/snapshot_registry.hh"
+#include "cluster/traffic.hh"
 #include "core/options.hh"
 #include "func/profile.hh"
 #include "mem/page_fetch.hh"
@@ -652,6 +653,81 @@ TEST(ChaosWorkload, SweepInvariantsAcrossPlansClassesAndModes)
             }
         }
     }
+}
+
+TEST(ChaosWorkload, OutageOverFlashCrowdWithPreWarmsExactlyOnce)
+{
+    // A shard outage covering a tenant flash crowd while the
+    // hybrid-histogram control plane is actively pre-warming: the
+    // crowd's invocations, the background pre-warm loads and the
+    // outage stalls all interleave on the same shared store, and the
+    // accounting must still balance — every accepted invocation lands
+    // in exactly one of cold/warm/failed, and pre-warm loads are
+    // counted as pre-warms, never as invocations.
+    Simulation sim;
+    cluster::ClusterConfig cfg = tieredConfig(4);
+    cfg.sharedStoreShards = 4;
+    cfg.keepAlive = sec(20);
+    // Default (spreading) routing, deliberately: the crowd spills onto
+    // workers that must fetch fresh chunks mid-outage. Under
+    // LocalityHash every function's working set is already resident on
+    // its home worker by crowd time and the dark shard is never hit.
+    cfg.controlPolicy = cluster::ControlPolicyKind::HybridHistogram;
+    cluster::Cluster c(sim, cfg);
+
+    cluster::TrafficConfig tcfg;
+    tcfg.functions = 12;
+    tcfg.tenants = 3;
+    tcfg.aggregateRps = 0.8;
+    tcfg.horizon = sec(300);
+    cluster::BurstSpec crowd;
+    crowd.kind = cluster::BurstKind::FlashCrowd;
+    crowd.tenant = 1;
+    // Early crowd, before the fleet has pulled every artifact to every
+    // worker: its spread onto fresh workers forces first-touch fetches
+    // inside the outage window.
+    crowd.start = sec(30);
+    crowd.duration = sec(40);
+    crowd.multiplier = 10.0;
+    tcfg.bursts.push_back(crowd);
+
+    cluster::TrafficWorkload workload(sim, c, tcfg);
+    FaultPlan plan(0xc0a7);
+    cluster::TrafficWorkloadResult r;
+    runScenario(sim, [&]() -> Task<void> {
+        co_await c.prepareAllSnapshots();
+        // The whole shared store dark for exactly the crowd window:
+        // any chunk fetch the crowd forces mid-window stalls.
+        Time base = sim.now();
+        for (int s = 0; s < cfg.sharedStoreShards; ++s)
+            plan.add(spec(FaultKind::StoreOutage,
+                          "store/shared/" + std::to_string(s),
+                          base + crowd.start,
+                          base + crowd.start + crowd.duration));
+        c.installFaultPlan(&plan);
+        r = co_await workload.run();
+        c.installFaultPlan(nullptr);
+    });
+
+    cluster::FleetStats fs = c.fleetStats();
+    ASSERT_GT(r.invocations, 0);
+    // Exactly-once completion accounting across the whole run.
+    EXPECT_EQ(r.coldStarts + r.warmHits + r.failedInvocations,
+              r.invocations);
+    EXPECT_EQ(static_cast<std::int64_t>(
+                  r.e2eLatencyMs.values().size()),
+              r.invocations);
+    // The control plane really was active across the outage, and its
+    // loads are accounted separately from invocations: each pre-warm
+    // produces at most one instance, which is later hit once or
+    // retired once (or is still resident at shutdown).
+    EXPECT_GT(fs.preWarms, 0);
+    EXPECT_LE(fs.preWarmHits, fs.preWarms);
+    EXPECT_LE(fs.preWarmHits + fs.wastedPreWarms, fs.preWarms);
+    // A pre-warm hit is a warm hit served off a pre-warmed instance.
+    EXPECT_LE(fs.preWarmHits, r.warmHits);
+    // The outage genuinely stalled requests during the crowd.
+    EXPECT_GE(plan.stats().outageStalls, 1);
 }
 
 // ------------------------------------------------------ parallel fleet

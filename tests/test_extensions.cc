@@ -444,8 +444,9 @@ TEST(LoaderRegistry, AllModesAreRegistered)
         ColdStartMode::RemoteReap,
         ColdStartMode::TieredReap,
         ColdStartMode::DedupReap,
+        ColdStartMode::BackgroundWarm,
     };
-    EXPECT_EQ(reg.modes().size(), 8u);
+    EXPECT_EQ(reg.modes().size(), 9u);
     for (ColdStartMode m : all) {
         ASSERT_NE(reg.find(m), nullptr);
         // Registry names agree with the mode-name table.

@@ -181,6 +181,62 @@ TEST(TrafficEngine, ThinningSamplerHitsTargetRate)
     }
 }
 
+TEST(TrafficEngine, PeriodicClassFiresOnTimerGrid)
+{
+    TrafficConfig cfg = smallConfig();
+    cfg.periodicFraction = 0.5;
+    cfg.periodicMinPeriod = sec(30);
+    cfg.periodicMaxPeriod = sec(120);
+    cfg.horizon = sec(600);
+    // Modulation a timer must ignore.
+    cfg.diurnal.amplitude = 0.5;
+    cfg.diurnal.period = sec(120);
+    TrafficEngine a(cfg), b(cfg);
+
+    int periodic = 0;
+    for (int fn = 0; fn < cfg.functions; ++fn) {
+        ASSERT_EQ(a.isPeriodic(fn), b.isPeriodic(fn)) << fn;
+        ASSERT_EQ(a.periodOf(fn), b.periodOf(fn)) << fn;
+        if (!a.isPeriodic(fn))
+            continue;
+        ++periodic;
+        Duration period = a.periodOf(fn);
+        EXPECT_GE(period, cfg.periodicMinPeriod);
+        EXPECT_LE(period, cfg.periodicMaxPeriod);
+        // A timer's rate is flat: no diurnal or burst modulation.
+        EXPECT_EQ(a.rateAt(fn, 0), a.rateAt(fn, sec(60)));
+
+        // Arrivals walk the jittered grid: every gap within one
+        // period +/- the jitter band, and the stream is identical
+        // across engines fed the same Rng stream.
+        Rng ra(cfg.seed, "periodic-test"), rb(cfg.seed,
+                                              "periodic-test");
+        Duration ta = 0, tb = 0;
+        auto slack = static_cast<Duration>(
+            cfg.periodicJitter * static_cast<double>(period));
+        for (int i = 0; i < 12; ++i) {
+            Duration prev = ta;
+            ta = a.nextArrival(fn, ta, ra);
+            tb = b.nextArrival(fn, tb, rb);
+            ASSERT_EQ(ta, tb) << "fn=" << fn << " i=" << i;
+            ASSERT_GT(ta, prev);
+            if (i > 0) {
+                EXPECT_GE(ta - prev, period - slack);
+                EXPECT_LE(ta - prev, period + slack);
+            }
+        }
+        // Count over the horizon matches the timer rate.
+        double expect = a.expectedArrivals(fn, 0, cfg.horizon);
+        EXPECT_NEAR(expect,
+                    static_cast<double>(cfg.horizon) /
+                        static_cast<double>(period),
+                    1.0);
+    }
+    // periodicFraction=0.5 over 24 functions: both classes present.
+    EXPECT_GT(periodic, 4);
+    EXPECT_LT(periodic, 20);
+}
+
 TEST(TrafficWorkload, OpenLoopDrivesAndDrains)
 {
     sim::Simulation sim;
