@@ -70,6 +70,9 @@ Cluster::Cluster(sim::Simulation &sim, ClusterConfig config)
     if (cfg.sharedSnapshots) {
         _registry = std::make_unique<SnapshotRegistry>(
             sim, *_sharedStore, workers, cfg.coldStartMode);
+        if (cfg.registryChunkBudget > 0)
+            _registry->setChunkBudget(cfg.registryChunkBudget,
+                                      cfg.registryEvictionPolicy);
     }
     activePolicy = &_policies.policyFor(cfg.routingPolicy);
     if (cfg.controlPolicy != ControlPolicyKind::None)
@@ -279,6 +282,39 @@ Cluster::invoke(const std::string &name)
     co_return e2e;
 }
 
+sim::Task<void>
+Cluster::restageFunction(const std::string &name)
+{
+    if (deployments.find(name) == deployments.end())
+        fatal("function %s is not deployed", name.c_str());
+    if (_registry != nullptr && _registry->isStaged(name)) {
+        co_await _registry->restage(name);
+        co_return;
+    }
+    // Per-worker staging: invalidate everywhere; each worker's next
+    // cold start re-records and stages the delta against the
+    // still-referenced previous version in its own index.
+    for (auto &w : workers)
+        w->orchestrator().invalidateRecord(name);
+}
+
+sim::Task<void>
+Cluster::retireFunction(const std::string &name)
+{
+    auto it = deployments.find(name);
+    if (it == deployments.end())
+        fatal("function %s is not deployed", name.c_str());
+    for (auto &w : workers) {
+        auto &orch = w->orchestrator();
+        co_await orch.stopAllInstances(name);
+        orch.retireRecord(name);
+    }
+    if (_registry)
+        _registry->retire(name);
+    // Routing freshness resets: a later revival starts cold.
+    it->second.lastUsed.assign(workers.size(), 0);
+}
+
 std::int64_t
 Cluster::instanceCount(const std::string &name) const
 {
@@ -336,10 +372,24 @@ Cluster::fleetStats() const
         const auto &orch = w->orchestrator();
         fs.wastedPreWarms += orch.wastedPreWarms();
         fs.bgPrefetches += orch.backgroundPrefetches();
+        fs.pageCachePeakBytes += orch.tierBudget().peakResidentBytes();
+        fs.pageCacheEvictedBytes += orch.tierBudget().evictedBytes();
+        const auto &cc = orch.localChunkCache().stats();
+        fs.workerChunkPeakBytes += cc.peakStoredBytes;
+        fs.workerChunkBudgetEvictions += cc.budgetEvictions;
+        fs.ssdEvictions += orch.ssdEvictions();
+        fs.peakSsdBytes += orch.peakSsdBytes();
         for (const auto &entry : deployments) {
             const core::FunctionStats &st = orch.stats(entry.first);
             fs.preWarms += st.preWarms;
             fs.preWarmHits += st.preWarmHits;
+            if (_registry == nullptr) {
+                // Worker-local staging: delta accounting lives in the
+                // per-function stats (the registry's under sharing).
+                fs.restages += st.deltaRestages;
+                fs.deltaChunksUploaded += st.deltaChunksUploaded;
+                fs.deltaBytesUploaded += st.deltaBytesUploaded;
+            }
         }
     }
     if (_sharedStore) {
@@ -366,7 +416,20 @@ Cluster::fleetStats() const
                 _registry->totalDedupSavedBytes();
             fs.chunksStored = idx.chunkCount();
             fs.chunksDeduped = idx.stats().dedupHits;
+            fs.chunkPeakStoredBytes = idx.stats().peakStoredBytes;
+            fs.chunkBudgetEvictions = idx.stats().budgetEvictions;
         }
+        fs.restages = _registry->totalRestages();
+        for (const auto &entry : deployments) {
+            if (!_registry->isStaged(entry.first))
+                continue;
+            const StagedArtifact &art =
+                _registry->artifact(entry.first);
+            fs.deltaChunksUploaded += art.deltaChunksUploaded;
+            fs.deltaBytesUploaded += art.deltaBytesUploaded;
+        }
+        fs.retires = _registry->retires();
+        fs.gcReleasedBytes = _registry->gcReleasedBytes();
     } else {
         for (const auto &w : workers)
             fs.snapshotBuilds += w->orchestrator().snapshotBuilds();
@@ -425,11 +488,12 @@ Cluster::preWarmTask(std::string name, int widx)
 }
 
 sim::Task<void>
-Cluster::backgroundPrefetchTask(std::string name, int widx)
+Cluster::backgroundPrefetchTask(std::string name, int widx,
+                                Time until)
 {
     co_await workers[static_cast<size_t>(widx)]
         ->orchestrator()
-        .backgroundPrefetch(name);
+        .backgroundPrefetch(name, until);
 }
 
 void
@@ -467,7 +531,8 @@ Cluster::controlTick()
             sim.spawn(preWarmTask(a.function, a.worker));
             break;
           case ControlAction::Kind::Prefetch:
-            sim.spawn(backgroundPrefetchTask(a.function, a.worker));
+            sim.spawn(backgroundPrefetchTask(a.function, a.worker,
+                                             a.until));
             break;
           case ControlAction::Kind::ScaleHint:
             if (a.hint > 0)

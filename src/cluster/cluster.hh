@@ -108,6 +108,20 @@ struct ClusterConfig
      * is installed (installFaultPlan); fault-free runs never retry.
      */
     int maxColdStartRetries = 2;
+
+    /**
+     * Byte budget of the fleet staged-chunk index (sharedSnapshots +
+     * DedupReap; 0 = unlimited, the historical behaviour). Chunks a
+     * live manifest references are never evicted; the zero-ref pool
+     * retireFunction()/restage leave behind is what budget pressure
+     * reclaims. Worker-side budgets (page cache, chunk cache, local
+     * SSD) live in ReapOptions.
+     */
+    Bytes registryChunkBudget = 0;
+
+    /** Victim selection for the budgeted fleet chunk index. */
+    storage::EvictionPolicyKind registryEvictionPolicy =
+        storage::EvictionPolicyKind::Lru;
 };
 
 /** Per-function cluster-level statistics. */
@@ -178,6 +192,28 @@ class Cluster : private FleetView
      * end-to-end latency (including cluster fabric hops).
      */
     sim::Task<Duration> invoke(const std::string &name);
+
+    /**
+     * The function's code was updated: invalidate its record
+     * fleet-wide and re-stage the new version as a delta. Under
+     * shared staging this is SnapshotRegistry::restage — one
+     * re-record on the home worker, only churned chunks re-upload,
+     * the old version's references release once the delta lands.
+     * Per-worker staging just invalidates; each worker's next cold
+     * start re-records and delta-stages against its own index.
+     */
+    sim::Task<void> restageFunction(const std::string &name);
+
+    /**
+     * Retire @p name fleet-wide (GC): stop every instance on every
+     * worker, release each worker's record and staged-chunk
+     * references (Orchestrator::retireRecord), and drop the shared
+     * registry's chunks and staging entry. The deployment itself
+     * stays, so the function can be invoked (and re-recorded or
+     * re-staged) again later. No invocation of @p name may be in
+     * flight.
+     */
+    sim::Task<void> retireFunction(const std::string &name);
 
     /** Total live instances of @p name across workers. */
     std::int64_t instanceCount(const std::string &name) const;
@@ -296,8 +332,11 @@ class Cluster : private FleetView
     /** Detached pre-warm issued by a control action. */
     sim::Task<void> preWarmTask(std::string name, int widx);
 
-    /** Detached background prefetch issued by a control action. */
-    sim::Task<void> backgroundPrefetchTask(std::string name, int widx);
+    /** Detached background prefetch issued by a control action;
+     * @p until shields the prefetched bytes until the predicted
+     * window passes (-1 = no shield). */
+    sim::Task<void> backgroundPrefetchTask(std::string name, int widx,
+                                           Time until);
 
     /** Run the active policy's tick and apply its actions. */
     void controlTick();

@@ -173,6 +173,7 @@ HybridHistogramPolicy::tick(const ControlTickContext &ctx,
             a.kind = ControlAction::Kind::Prefetch;
             a.function = v.name;
             a.worker = v.homeWorker;
+            a.until = wEnd;
             out.push_back(std::move(a));
         }
     }
@@ -237,6 +238,7 @@ OraclePolicy::tick(const ControlTickContext &ctx,
             a.kind = ControlAction::Kind::Prefetch;
             a.function = v.name;
             a.worker = v.homeWorker;
+            a.until = next;
             out.push_back(std::move(a));
         }
     }

@@ -77,6 +77,12 @@ struct ControlAction
     int worker = 0;
     /** ScaleHint only: >0 hold scale-downs, <0 shrink faster. */
     int hint = 0;
+    /**
+     * Prefetch only: end of the predicted invocation window. Budgeted
+     * caches shield the prefetched bytes from eviction until this time
+     * (PrefetchPinned policy); -1 = no shield.
+     */
+    Time until = -1;
 };
 
 /** Per-function slice of the fleet snapshot a policy ticks against. */

@@ -14,6 +14,17 @@ mergeTierRow(std::vector<core::TierBreakdown> &into,
             t.misses += row.misses;
             t.admissions += row.admissions;
             t.bytes += row.bytes;
+            // Resident/peak/evicted are cumulative worker-wide
+            // samples (each cold's row carries the counter's value at
+            // that instant), not per-invocation increments: summing
+            // would multiply-count them, so merge by max — the
+            // highest (for the monotonic counters, latest) sample.
+            t.residentBytes =
+                std::max(t.residentBytes, row.residentBytes);
+            t.peakResidentBytes =
+                std::max(t.peakResidentBytes, row.peakResidentBytes);
+            t.bytesEvicted =
+                std::max(t.bytesEvicted, row.bytesEvicted);
             t.time += row.time;
             return;
         }

@@ -144,6 +144,53 @@ struct FleetStats
     /// @}
 
     /**
+     * @name Cache & storage economics: byte budgets, delta
+     * re-staging and fleet GC (all zero with budgets off and no
+     * restage/retire — the historical behaviour).
+     */
+    /// @{
+
+    /** High-water mark of the staged index's compressed bytes. */
+    Bytes chunkPeakStoredBytes = 0;
+
+    /** Chunks budget pressure evicted from the staged index. */
+    std::int64_t chunkBudgetEvictions = 0;
+
+    /** Worker page-cache peak resident bytes, summed. */
+    Bytes pageCachePeakBytes = 0;
+
+    /** Worker page-cache bytes shed by budget pressure, summed. */
+    Bytes pageCacheEvictedBytes = 0;
+
+    /** Worker chunk-cache peak stored bytes, summed. */
+    Bytes workerChunkPeakBytes = 0;
+
+    /** Worker chunk-cache budget evictions, summed. */
+    std::int64_t workerChunkBudgetEvictions = 0;
+
+    /** Local-SSD artifact copies evicted by ssdBudget, summed. */
+    std::int64_t ssdEvictions = 0;
+
+    /** Peak local artifact bytes, summed across workers. */
+    Bytes peakSsdBytes = 0;
+
+    /** Delta re-stagings completed (restageFunction). */
+    std::int64_t restages = 0;
+
+    /** Chunks delta re-staging uploaded — the churn that moved. */
+    std::int64_t deltaChunksUploaded = 0;
+
+    /** Compressed bytes those delta uploads moved. */
+    Bytes deltaBytesUploaded = 0;
+
+    /** Functions retired fleet-wide (retireFunction). */
+    std::int64_t retires = 0;
+
+    /** Stored bytes GC reclaimed from the staged index. */
+    Bytes gcReleasedBytes = 0;
+    /// @}
+
+    /**
      * Fraction of staged compressed bytes that never crossed the wire
      * thanks to dedup (0 when staging is not chunked).
      */

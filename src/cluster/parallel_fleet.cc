@@ -59,6 +59,15 @@ ParallelFleetResult::digest() const
     fnvMix(h, static_cast<std::uint64_t>(chunksUploaded));
     fnvMix(h, static_cast<std::uint64_t>(chunksDeduped));
     fnvMix(h, static_cast<std::uint64_t>(remoteArtifactFetches));
+    fnvMix(h, static_cast<std::uint64_t>(bgPrefetches));
+    fnvMix(h, static_cast<std::uint64_t>(pageCachePeakBytes));
+    fnvMix(h, static_cast<std::uint64_t>(pageCacheEvictedBytes));
+    fnvMix(h, static_cast<std::uint64_t>(workerChunkPeakBytes));
+    fnvMix(h, static_cast<std::uint64_t>(workerChunkBudgetEvictions));
+    fnvMix(h, static_cast<std::uint64_t>(ssdEvictions));
+    fnvMix(h, static_cast<std::uint64_t>(peakSsdBytes));
+    fnvMix(h, static_cast<std::uint64_t>(fleetChunkPeakBytes));
+    fnvMix(h, static_cast<std::uint64_t>(fleetChunkBudgetEvictions));
     fnvMixStats(h, store);
     fnvMix(h, static_cast<std::uint64_t>(storeShards.size()));
     for (const net::ObjectStoreStats &row : storeShards)
@@ -119,6 +128,20 @@ ParallelFleet::ParallelFleet(ParallelFleetConfig config)
     mirrorInFlight.assign(static_cast<std::size_t>(cfg.workers), 0);
     activePolicy = &policies.policyFor(cfg.routingPolicy);
     preWarmInFlight.assign(mix.size(), 0);
+    prefetchInFlight.assign(mix.size(), 0);
+    // Mirrored chunk residency, one hop stale (refreshed by Done
+    // replies). Non-shared fleets keep every artifact local, so full
+    // residency everywhere; shared fleets start with residency only
+    // on each function's home worker (where it records) and learn the
+    // rest from replies.
+    mirrorResidency.assign(
+        static_cast<std::size_t>(cfg.workers),
+        std::vector<double>(mix.size(), cfg.sharedSnapshots ? 0.0
+                                                            : 1.0));
+    if (cfg.sharedSnapshots)
+        for (std::size_t i = 0; i < mix.size(); ++i)
+            mirrorResidency[static_cast<std::size_t>(
+                homeWorkerOf(mix[i].profile.name))][i] = 1.0;
     if (cfg.controlPolicy != ControlPolicyKind::None)
         activeControl = &controlPolicies.policyFor(cfg.controlPolicy);
 
@@ -129,6 +152,10 @@ ParallelFleet::ParallelFleet(ParallelFleetConfig config)
         sp.placement = cfg.chunkPlacement;
         sharedStore = std::make_unique<net::ShardedObjectStore>(
             kernel.sim(storeDomain()), sp);
+        if (cfg.registryChunkBudget > 0)
+            fleetChunks.setBudget(cfg.registryChunkBudget,
+                                  cfg.registryEvictionPolicy,
+                                  /*refcount_protected=*/true);
         if (!cfg.storeFaults.empty()) {
             // The store domain draws its own deterministic fault
             // stream (FaultPlan is not thread-safe across domains),
@@ -408,7 +435,8 @@ ParallelFleet::storeStage(StoreMsg msg)
         for (const storage::ChunkManifest *man :
              {&p.manifests->vmmState, &p.manifests->ws}) {
             for (const storage::ChunkRef &c : man->chunks) {
-                if (fleetChunks.addRef(c)) {
+                if (fleetChunks.addRef(
+                        c, kernel.sim(storeDomain()).now())) {
                     co_await sharedStore->putChunk(c.storedBytes,
                                                    {c.hash, scope});
                     stagingStagedBytes += c.storedBytes;
@@ -595,6 +623,26 @@ ParallelFleet::workerInvoke(int w, WorkerMsg msg)
     const std::string &name =
         mix[static_cast<std::size_t>(msg.fnIdx)].profile.name;
 
+    if (msg.prefetch) {
+        // Control-plane chunk prefetch: warm this worker's tier
+        // caches ahead of the predicted window, shielding the bytes
+        // from budget eviction until msg.pinUntil (the prefetch-
+        // pinned policy's contract). No instance comes up and
+        // keep-alive is untouched — only cache state moves.
+        co_await orch.backgroundPrefetch(name, msg.pinUntil);
+        --node.liveInvokes;
+
+        ControlMsg reply;
+        reply.kind = ControlMsg::Done;
+        reply.reqId = msg.reqId;
+        reply.fnIdx = msg.fnIdx;
+        reply.prefetch = true;
+        reply.idleNow = orch.idleInstanceCount(name);
+        reply.chunkResidency = orch.chunkResidency(name);
+        node.toControl->send(reply);
+        co_return;
+    }
+
     if (msg.preWarm) {
         // Control-plane pre-warm: load an instance ahead of the
         // predicted arrival, don't serve anything. Refresh keep-alive
@@ -612,6 +660,7 @@ ParallelFleet::workerInvoke(int w, WorkerMsg msg)
         reply.fnIdx = msg.fnIdx;
         reply.preWarm = true;
         reply.idleNow = orch.idleInstanceCount(name);
+        reply.chunkResidency = orch.chunkResidency(name);
         node.toControl->send(reply);
         co_return;
     }
@@ -644,6 +693,7 @@ ParallelFleet::workerInvoke(int w, WorkerMsg msg)
     reply.cold = bd.cold;
     reply.preWarmHit = bd.preWarmHit;
     reply.idleNow = orch.idleInstanceCount(name);
+    reply.chunkResidency = orch.chunkResidency(name);
     node.toControl->send(reply);
 }
 
@@ -701,7 +751,18 @@ ParallelFleet::replyPump(int w, sim::Latch *ready, sim::Latch *byes)
             mirrorIdle[static_cast<std::size_t>(w)]
                       [static_cast<std::size_t>(msg.fnIdx)] =
                 msg.idleNow;
-            if (msg.preWarm) {
+            if (msg.chunkResidency >= 0)
+                mirrorResidency[static_cast<std::size_t>(w)]
+                               [static_cast<std::size_t>(msg.fnIdx)] =
+                    msg.chunkResidency;
+            if (msg.prefetch) {
+                // A prefetch only moved cache bytes: free the
+                // in-flight guard and count it; no invocation, no
+                // instance accounting.
+                prefetchInFlight[static_cast<std::size_t>(
+                    msg.fnIdx)] = 0;
+                ++result.bgPrefetches;
+            } else if (msg.preWarm) {
                 // A pre-warm is not an invocation: it refreshes the
                 // mirror and frees the in-flight guard, nothing else.
                 preWarmInFlight[static_cast<std::size_t>(msg.fnIdx)] =
@@ -853,30 +914,39 @@ ParallelFleet::controlTickLoop()
             for (int w = 0; w < cfg.workers; ++w)
                 v.idleInstances +=
                     mirrorIdle[static_cast<std::size_t>(w)][fn];
-            v.warming = preWarmInFlight[fn] != 0;
-            // The mirror cannot see chunk residency; full residency
-            // suppresses Prefetch actions, which (like ScaleHint) are
-            // sequential-Cluster verbs — pre-warming is the parallel
-            // control plane's single lever.
-            v.homeChunkResidency = 1.0;
+            v.warming =
+                preWarmInFlight[fn] != 0 || prefetchInFlight[fn] != 0;
+            // One-hop-stale residency mirror, refreshed by every Done
+            // reply: low residency on the home worker lets the policy
+            // emit Prefetch actions, which (unlike ScaleHint, still a
+            // sequential-Cluster verb) now travel to workers as
+            // first-class tracked requests.
+            v.homeChunkResidency =
+                mirrorResidency[static_cast<std::size_t>(
+                    v.homeWorker)][fn];
             ctx.functions.push_back(std::move(v));
         }
 
         std::vector<ControlAction> actions;
         activeControl->tick(ctx, actions);
         for (const ControlAction &a : actions) {
-            if (a.kind != ControlAction::Kind::PreWarm)
+            bool prefetch = a.kind == ControlAction::Kind::Prefetch;
+            if (a.kind != ControlAction::Kind::PreWarm && !prefetch)
                 continue;
             auto it = fnIndex.find(a.function);
             if (it == fnIndex.end())
                 continue;
             auto fn = static_cast<std::size_t>(it->second);
-            if (preWarmInFlight[fn])
+            if (prefetch ? prefetchInFlight[fn] != 0
+                         : preWarmInFlight[fn] != 0)
                 continue;
             int widx = a.worker;
             if (widx < 0 || widx >= cfg.workers)
                 widx = homeWorkerOf(a.function);
-            preWarmInFlight[fn] = 1;
+            if (prefetch)
+                prefetchInFlight[fn] = 1;
+            else
+                preWarmInFlight[fn] = 1;
 
             // First-class pending request: the shutdown drain waits
             // for its Done like any invocation, so workers never see
@@ -886,14 +956,17 @@ ParallelFleet::controlTickLoop()
             pr.t0 = csim.now();
             pr.fnIdx = static_cast<int>(fn);
             pr.worker = widx;
-            pr.preWarm = true;
+            pr.preWarm = !prefetch;
+            pr.prefetch = prefetch;
             pending.emplace(id, pr);
 
             WorkerMsg msg;
             msg.kind = WorkerMsg::Invoke;
             msg.reqId = id;
             msg.fnIdx = static_cast<int>(fn);
-            msg.preWarm = true;
+            msg.preWarm = !prefetch;
+            msg.prefetch = prefetch;
+            msg.pinUntil = a.until;
             nodes[static_cast<std::size_t>(widx)]->fromControl->send(
                 msg);
         }
@@ -958,7 +1031,24 @@ ParallelFleet::run()
     result.messages = kernel.stats().messages;
     for (const auto &node : nodes)
         result.scaleDowns += node->scaleDowns;
+    for (const auto &node : nodes) {
+        // Economics counters: fold every budget-path observable into
+        // the result (and thus the digest) so the thread-count
+        // identity covers eviction, pinning and SSD GC decisions.
+        const auto &orch = node->worker->orchestrator();
+        result.pageCachePeakBytes +=
+            orch.tierBudget().peakResidentBytes();
+        result.pageCacheEvictedBytes += orch.tierBudget().evictedBytes();
+        const auto &cc = orch.localChunkCache().stats();
+        result.workerChunkPeakBytes += cc.peakStoredBytes;
+        result.workerChunkBudgetEvictions += cc.budgetEvictions;
+        result.ssdEvictions += orch.ssdEvictions();
+        result.peakSsdBytes += orch.peakSsdBytes();
+    }
     if (cfg.sharedSnapshots) {
+        result.fleetChunkPeakBytes = fleetChunks.stats().peakStoredBytes;
+        result.fleetChunkBudgetEvictions =
+            fleetChunks.stats().budgetEvictions;
         result.snapshotBuilds = stagingBuilds;
         result.stagedBytes = stagingStagedBytes;
         result.dedupSavedBytes = stagingDedupSaved;

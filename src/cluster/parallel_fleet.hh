@@ -105,11 +105,12 @@ struct ParallelFleetConfig
      * (domain 0) against the mirrored fleet view — so predictions,
      * like routing, trail worker reality by one fabric hop, and
      * digests stay bit-identical across sim thread counts. Pre-warm
-     * actions travel to workers as first-class tracked requests;
-     * Prefetch and ScaleHint actions are sequential-Cluster-only and
-     * are not emitted here (the mirrored view reports full chunk
-     * residency so policies never ask). None (default) spawns no
-     * control tick at all — bit-identical to the historical kernel.
+     * and Prefetch actions travel to workers as first-class tracked
+     * requests (a Prefetch warms the home worker's tier caches via
+     * backgroundPrefetch, shielded until the predicted window by the
+     * prefetch-pinned eviction policy); ScaleHint stays
+     * sequential-Cluster-only. None (default) spawns no control tick
+     * at all — bit-identical to the historical kernel.
      */
     ControlPolicyKind controlPolicy = ControlPolicyKind::None;
 
@@ -165,6 +166,19 @@ struct ParallelFleetConfig
 
     /** Base seed of the per-worker fault plans. */
     std::uint64_t faultSeed = 0;
+
+    /**
+     * Byte budget of the fleet staged-chunk index in the store domain
+     * (sharedSnapshots + DedupReap; 0 = unlimited). Referenced chunks
+     * are shielded (refcount-protected), mirroring
+     * SnapshotRegistry::setChunkBudget. Worker-side budgets (page
+     * cache, chunk cache, local SSD) ride in `worker.reap`.
+     */
+    Bytes registryChunkBudget = 0;
+
+    /** Victim selection for the budgeted fleet chunk index. */
+    storage::EvictionPolicyKind registryEvictionPolicy =
+        storage::EvictionPolicyKind::Lru;
 };
 
 /** Results of one parallel fleet run. */
@@ -216,6 +230,42 @@ struct ParallelFleetResult
     /** Shared-store traffic, aggregated and per shard. */
     net::ObjectStoreStats store{};
     std::vector<net::ObjectStoreStats> storeShards;
+    /// @}
+
+    /**
+     * @name Cache & storage economics. All zero with budgets off and
+     * no Prefetch actions — the historical behaviour. Every field is
+     * folded into digest(), so the thread-count identity the
+     * determinism suite asserts covers the budgeted paths too.
+     */
+    /// @{
+
+    /** Control-plane Prefetch requests completed by workers. */
+    std::int64_t bgPrefetches = 0;
+
+    /** Worker page-cache peak resident bytes, summed. */
+    Bytes pageCachePeakBytes = 0;
+
+    /** Worker page-cache bytes shed by budget pressure, summed. */
+    Bytes pageCacheEvictedBytes = 0;
+
+    /** Worker chunk-cache peak stored bytes, summed. */
+    Bytes workerChunkPeakBytes = 0;
+
+    /** Worker chunk-cache budget evictions, summed. */
+    std::int64_t workerChunkBudgetEvictions = 0;
+
+    /** Local-SSD artifact copies evicted by ssdBudget, summed. */
+    std::int64_t ssdEvictions = 0;
+
+    /** Peak local artifact bytes, summed across workers. */
+    Bytes peakSsdBytes = 0;
+
+    /** Peak stored bytes of the fleet staged-chunk index. */
+    Bytes fleetChunkPeakBytes = 0;
+
+    /** Budget evictions from the fleet staged-chunk index. */
+    std::int64_t fleetChunkBudgetEvictions = 0;
     /// @}
 
     double
@@ -273,6 +323,12 @@ class ParallelFleet
 
         /** Invoke only: control-plane pre-warm, not an invocation. */
         bool preWarm = false;
+
+        /** Invoke only: background tier-cache prefetch, no instance. */
+        bool prefetch = false;
+
+        /** Prefetch only: shield the bytes until then (-1 = none). */
+        Time pinUntil = -1;
     };
 
     /** Worker -> control notices. */
@@ -293,6 +349,17 @@ class ParallelFleet
 
         /** Instances stopped (ScaledDown). */
         std::int64_t stopped = 0;
+
+        /** Done of a background prefetch request. */
+        bool prefetch = false;
+
+        /**
+         * Worker's chunk residency for fnIdx after the event
+         * (Done replies; -1 = not reported). Feeds the control
+         * plane's mirrored residency, which decides future Prefetch
+         * actions — one fabric hop stale, like every mirror field.
+         */
+        double chunkResidency = -1;
     };
 
     /** Staged artifacts shipped from a home worker to the store. */
@@ -427,6 +494,7 @@ class ParallelFleet
         sim::Gate *done = nullptr;
         bool cold = false;
         bool preWarm = false;
+        bool prefetch = false;
         Duration e2e = 0;
     };
 
@@ -541,6 +609,16 @@ class ParallelFleet
 
     /** Per-function pre-warm already issued and not yet Done. */
     std::vector<char> preWarmInFlight;
+
+    /** Per-function prefetch already issued and not yet Done. */
+    std::vector<char> prefetchInFlight;
+
+    /**
+     * Mirrored chunk residency [w][fn], updated from Done replies:
+     * what the control plane believes each worker holds, one fabric
+     * hop stale. Source of ControlFunctionView::homeChunkResidency.
+     */
+    std::vector<std::vector<double>> mirrorResidency;
 
     /** Set after traffic drains; stops the control tick loop. */
     bool controlStopping = false;

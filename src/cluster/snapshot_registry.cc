@@ -73,6 +73,29 @@ SnapshotRegistry::ensureStaged(const std::string &name)
     }
 
     std::shared_ptr<const vmm::SnapshotManifests> manifests;
+    co_await stageArtifacts(name, e, manifests);
+
+    // Fan the metadata out; the artifact bytes move lazily, at each
+    // worker's first cold start, through the remote tier.
+    const core::WorkingSetRecord &rec = orch.record(name);
+    for (auto &w : workers)
+        w->orchestrator().adoptStagedArtifacts(name, rec, manifests);
+
+    e.stagedManifests = manifests;
+    e.art.staged = true;
+    e.staging = false;
+    e.done->openGate();
+}
+
+sim::Task<void>
+SnapshotRegistry::stageArtifacts(
+    const std::string &name, Entry &e,
+    std::shared_ptr<const vmm::SnapshotManifests> &manifests)
+{
+    const std::string fault_key = "staging/" + name;
+    core::Worker &hw =
+        *workers[static_cast<size_t>(e.art.homeWorker)];
+    auto &orch = hw.orchestrator();
     for (bool staged_ok = false; !staged_ok;) {
         // One staging attempt. A WorkerCrash rolled mid-pass aborts
         // it: per-attempt counters are discarded, chunk references
@@ -110,7 +133,7 @@ SnapshotRegistry::ensureStaged(const std::string &name)
                     }
                     ++total;
                     taken.push_back(c);
-                    if (sharedChunks.addRef(c)) {
+                    if (sharedChunks.addRef(c, sim.now())) {
                         co_await store.putChunk(
                             c.storedBytes,
                             {c.hash, net::placementScope(name)});
@@ -157,16 +180,118 @@ SnapshotRegistry::ensureStaged(const std::string &name)
         }
         staged_ok = true;
     }
+}
 
-    // Fan the metadata out; the artifact bytes move lazily, at each
-    // worker's first cold start, through the remote tier.
+sim::Task<void>
+SnapshotRegistry::restage(const std::string &name)
+{
+    auto it = entries.find(name);
+    VHIVE_ASSERT(it != entries.end());
+    Entry &e = it->second;
+    if (e.staging) {
+        // Fold into the in-flight (re)staging pass.
+        co_await e.done->wait();
+        co_return;
+    }
+    VHIVE_ASSERT(e.art.staged);
+    e.staging = true;
+    e.art.staged = false;
+    e.done = std::make_unique<sim::Gate>(sim); // old gate is open
+
+    // Claim the outgoing version's references before any suspension:
+    // they stay held through the new staging pass so unchanged chunks
+    // dedup-hit instead of re-uploading.
+    auto prev = std::move(e.stagedManifests);
+
+    if (faults != nullptr) {
+        const std::string fault_key = "staging/" + name;
+        while (const sim::FaultWindow *w = faults->roll(
+                   sim::FaultKind::StagingOutage, fault_key,
+                   sim.now())) {
+            ++faults->stats().stagingStalls;
+            co_await sim.delay(w->end - sim.now());
+        }
+    }
+
+    // Invalidate fleet-wide: no worker may keep serving the stale
+    // version's objects, and the home worker's next invocation becomes
+    // the re-record phase.
+    for (auto &w : workers)
+        w->orchestrator().invalidateRecord(name);
+
+    core::Worker &hw =
+        *workers[static_cast<size_t>(e.art.homeWorker)];
+    auto &orch = hw.orchestrator();
+
+    // Re-record on the home worker (same path as the first staging).
+    core::InvokeOptions opts;
+    opts.forceCold = true;
+    (void)co_await orch.invoke(name, mode, opts);
+
+    const std::int64_t ups0 = e.art.chunksUploaded;
+    const std::int64_t tot0 = e.art.chunksTotal;
+    std::shared_ptr<const vmm::SnapshotManifests> manifests;
+    co_await stageArtifacts(name, e, manifests);
+
+    ++e.art.restages;
+    const std::int64_t ups = e.art.chunksUploaded - ups0;
+    e.art.deltaChunksUploaded += ups;
+    e.art.deltaChunksUnchanged += (e.art.chunksTotal - tot0) - ups;
+    e.art.deltaBytesUploaded += e.art.stagedBytes; // per-pass bytes
+
+    if (prev) {
+        // The delta landed: release the previous version. Chunks the
+        // new manifests carried over stay referenced; chunks only the
+        // old version used drop their last reference here.
+        sharedChunks.releaseManifest(prev->vmmState);
+        sharedChunks.releaseManifest(prev->ws);
+    }
+
     const core::WorkingSetRecord &rec = orch.record(name);
     for (auto &w : workers)
         w->orchestrator().adoptStagedArtifacts(name, rec, manifests);
 
+    e.stagedManifests = manifests;
     e.art.staged = true;
     e.staging = false;
     e.done->openGate();
+}
+
+void
+SnapshotRegistry::retire(const std::string &name)
+{
+    auto it = entries.find(name);
+    if (it == entries.end())
+        return;
+    Entry &e = it->second;
+    VHIVE_ASSERT(!e.staging);
+    if (e.stagedManifests) {
+        const Bytes bytes0 = sharedChunks.storedBytes();
+        const std::int64_t chunks0 = sharedChunks.chunkCount();
+        sharedChunks.releaseManifest(e.stagedManifests->vmmState);
+        sharedChunks.releaseManifest(e.stagedManifests->ws);
+        _gcReleasedBytes += bytes0 - sharedChunks.storedBytes();
+        _gcReleasedChunks += chunks0 - sharedChunks.chunkCount();
+    }
+    ++_retires;
+    entries.erase(it);
+}
+
+void
+SnapshotRegistry::setChunkBudget(Bytes budget,
+                                 storage::EvictionPolicyKind policy)
+{
+    sharedChunks.setBudget(budget, policy,
+                           /*refcount_protected=*/true);
+}
+
+std::int64_t
+SnapshotRegistry::totalRestages() const
+{
+    std::int64_t n = 0;
+    for (const auto &entry : entries)
+        n += entry.second.art.restages;
+    return n;
 }
 
 bool

@@ -31,6 +31,7 @@
 #include "sim/task.hh"
 #include "storage/chunk_store.hh"
 #include "util/units.hh"
+#include "vmm/snapshot.hh"
 
 namespace vhive::cluster {
 
@@ -63,6 +64,22 @@ struct StagedArtifact
 
     /** Chunks this staging actually uploaded. */
     std::int64_t chunksUploaded = 0;
+    /// @}
+
+    /** @name Delta re-staging (restage(); zero until one happens). */
+    /// @{
+
+    /** Completed restage() passes for this function. */
+    std::int64_t restages = 0;
+
+    /** Chunks restaging uploaded — the churned delta. */
+    std::int64_t deltaChunksUploaded = 0;
+
+    /** Compressed bytes those delta uploads moved. */
+    Bytes deltaBytesUploaded = 0;
+
+    /** Chunks restaging dedup-hit against the previous version. */
+    std::int64_t deltaChunksUnchanged = 0;
     /// @}
 
     /** Cold starts that pulled the artifact through the remote tier. */
@@ -116,6 +133,52 @@ class SnapshotRegistry
      * staging instead of duplicating it.
      */
     sim::Task<void> ensureStaged(const std::string &name);
+
+    /**
+     * Re-record + delta re-stage @p name (the function's code was
+     * updated): invalidate the record fleet-wide, re-record on the
+     * home worker, then stage the new version against the previous
+     * one's still-referenced chunks — unchanged chunks dedup-hit and
+     * never cross the wire again; only the churned delta uploads. The
+     * previous version's references release once the delta lands, and
+     * the new metadata fans out to every worker. Must already be
+     * staged; a caller racing an in-flight (re)staging waits for it.
+     */
+    sim::Task<void> restage(const std::string &name);
+
+    /**
+     * Fleet-wide GC of @p name (the function is being retired):
+     * release every shared-chunk reference its staged manifests hold
+     * and forget the staging record. Chunks no other function
+     * references drop out of the index — their bytes are reclaimed
+     * (or, under a refcount-protected budget, retained as evictable
+     * pool). Workers' own records are the caller's to retire
+     * (Cluster::retireFunction does both). No-op when never staged.
+     */
+    void retire(const std::string &name);
+
+    /**
+     * Cap the fleet staged-chunk index at @p budget resident stored
+     * bytes (0 = unlimited). Referenced chunks are shielded
+     * (refcount-protected — the index must never lose a chunk a live
+     * manifest needs); zero-ref chunks left behind by retire() or
+     * restage() become the evictable pool.
+     */
+    void setChunkBudget(Bytes budget,
+                        storage::EvictionPolicyKind policy =
+                            storage::EvictionPolicyKind::Lru);
+
+    /** Completed restage() passes across functions. */
+    std::int64_t totalRestages() const;
+
+    /** Functions retired (GC'd) so far. */
+    std::int64_t retires() const { return _retires; }
+
+    /** Stored bytes retire() reclaimed from the shared index. */
+    Bytes gcReleasedBytes() const { return _gcReleasedBytes; }
+
+    /** Chunks retire() dropped from the shared index. */
+    std::int64_t gcReleasedChunks() const { return _gcReleasedChunks; }
 
     /** Whether @p name has been staged. */
     bool isStaged(const std::string &name) const;
@@ -174,7 +237,26 @@ class SnapshotRegistry
         StagedArtifact art;
         bool staging = false;
         std::unique_ptr<sim::Gate> done;
+
+        /**
+         * The staged version's manifests (chunked staging only): the
+         * references the shared index holds on this function's
+         * behalf, released by retire() or — after the delta lands —
+         * by restage().
+         */
+        std::shared_ptr<const vmm::SnapshotManifests> stagedManifests;
     };
+
+    /**
+     * One staging pass (with crash-retry) for @p name on its home
+     * worker: the shared body of ensureStaged() and restage().
+     * Requires the record phase to have run; fills @p e's counters and
+     * @p manifests (chunked staging).
+     */
+    sim::Task<void>
+    stageArtifacts(const std::string &name, Entry &e,
+                   std::shared_ptr<const vmm::SnapshotManifests>
+                       &manifests);
 
     sim::Simulation &sim;
     net::ArtifactStore &store;
@@ -185,6 +267,13 @@ class SnapshotRegistry
 
     /** Installed fault plan (borrowed; null = fault-free). */
     sim::FaultPlan *faults = nullptr;
+
+    /** @name GC accounting (retire()). */
+    /// @{
+    std::int64_t _retires = 0;
+    Bytes _gcReleasedBytes = 0;
+    std::int64_t _gcReleasedChunks = 0;
+    /// @}
 };
 
 } // namespace vhive::cluster

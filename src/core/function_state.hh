@@ -45,6 +45,17 @@ struct FunctionStats
 
     /** Invocations served warm by a pre-warmed instance's first use. */
     std::int64_t preWarmHits = 0;
+
+    /**
+     * Delta re-record staging (this worker's lazy path): re-stagings
+     * performed, chunks/bytes actually re-uploaded, and chunks carried
+     * over unchanged from the previous version. The fleet registry
+     * keeps its own equivalents for build-once staging.
+     */
+    std::int64_t deltaRestages = 0;
+    std::int64_t deltaChunksUploaded = 0;
+    Bytes deltaBytesUploaded = 0;
+    std::int64_t deltaChunksUnchanged = 0;
 };
 
 /** One live instance: VM + (optional) uffd/monitor pair. */
@@ -130,6 +141,49 @@ struct FunctionState
      * content means new chunk identities).
      */
     std::shared_ptr<const vmm::SnapshotManifests> manifests;
+
+    /**
+     * The previous record version's manifests, kept across a
+     * re-record until the new version is staged: delta staging
+     * references the new chunks *first* and releases these *after*,
+     * so unchanged chunks never hit zero references (and are never
+     * re-uploaded). Cleared once the delta lands, and by
+     * invalidateRecord.
+     */
+    std::shared_ptr<const vmm::SnapshotManifests> prevManifests;
+
+    /**
+     * Monotonic record version: 1 after the first record phase,
+     * incremented by every re-record. Salts the content identity of
+     * function-unique chunks (ReapOptions::rerecordChurn), so a
+     * re-recorded working set shares most — but not all — chunks with
+     * its predecessor. Version <= 1 produces bit-identical manifests
+     * to builds that never re-record.
+     */
+    std::int64_t recordVersion = 0;
+
+    /**
+     * Cold starts currently loading this function (in flight). The
+     * SSD-budget enforcer never evicts a function's local artifacts
+     * mid-cold-start — the tiered chain's contains()/admit() hooks
+     * read artifactsLocal across suspension points.
+     */
+    std::int64_t activeColds = 0;
+
+    /**
+     * Soft prefetch shield for the SSD budget: a control-plane
+     * prefetch warmed this function's artifacts for a predicted
+     * window ending here; the PrefetchPinned policy keeps the local
+     * copy until then. -1 = never prefetched.
+     */
+    Time prefetchPinnedUntil = -1;
+
+    /**
+     * Recency stamp for the SSD budget's LRU: bumped (from the
+     * orchestrator's counter) each time a cold start uses the local
+     * artifact copy.
+     */
+    std::uint64_t artifactLruSeq = 0;
 
     /**
      * Per-page remote-serve counters backing tiered admit-on-N-hits

@@ -118,13 +118,21 @@ RecordLoader::load(LoadContext ctx)
     st.remoteStaged = false; // new record invalidates staged objects
     st.tierAdmitCounts.clear(); // old content's admission history
     if (st.manifests) {
-        // Re-record: the old chunk identities are dead. Drop this
-        // function's references from the staged index (chunks shared
-        // with other functions survive; the last reference evicts).
-        ctx.stagedChunks.releaseManifest(st.manifests->vmmState);
-        ctx.stagedChunks.releaseManifest(st.manifests->ws);
+        // Re-record without a prior invalidateRecord (adaptive
+        // re-record): keep the outgoing manifests as the previous
+        // version so staging can diff against them — their
+        // staged-chunk references stay held until the delta lands. A
+        // version displaced before ever re-staging is unreachable;
+        // its references go now.
+        if (st.prevManifests) {
+            ctx.stagedChunks.releaseManifest(
+                st.prevManifests->vmmState);
+            ctx.stagedChunks.releaseManifest(st.prevManifests->ws);
+        }
+        st.prevManifests = std::move(st.manifests);
         st.manifests.reset();
     }
+    ++st.recordVersion; // v1 on first record, v2+ on re-records
     ++st.stats.recordPhases;
 
     auto [ws_bytes, trace_bytes] = st.ensureArtifactFiles(ctx.fs);
@@ -241,9 +249,31 @@ PrefetchLoader::load(LoadContext ctx)
     }
     bd.prefetchedPages = st.record.pageCount();
     for (const auto &t : pipeline.stats().tiers) {
-        bd.tierHits.push_back(TierBreakdown{t.label, t.hits, t.misses,
-                                            t.admissions, t.bytes,
-                                            t.time});
+        TierBreakdown row;
+        row.tier = t.label;
+        row.hits = t.hits;
+        row.misses = t.misses;
+        row.admissions = t.admissions;
+        row.bytes = t.bytes;
+        row.residentBytes = t.residentBytes;
+        row.peakResidentBytes = t.peakResidentBytes;
+        row.bytesEvicted = t.bytesEvicted;
+        row.time = t.time;
+        bd.tierHits.push_back(std::move(row));
+    }
+    if (ctx.tierBudget != nullptr) {
+        // The page-cache tier's byte economics are worker-wide (one
+        // tracker spans every function's WS file), so the row carries
+        // the tracker's aggregate residency rather than a per-chain
+        // figure.
+        for (auto &row : bd.tierHits) {
+            if (row.tier != "page-cache")
+                continue;
+            row.residentBytes = ctx.tierBudget->residentBytes();
+            row.peakResidentBytes =
+                ctx.tierBudget->peakResidentBytes();
+            row.bytesEvicted = ctx.tierBudget->evictedBytes();
+        }
     }
 
     inst.monitor = std::make_unique<Monitor>(
@@ -367,6 +397,18 @@ TieredReapLoader::makeSource(LoadContext &ctx) const
     storage::FileStore *fs = &ctx.fs;
     storage::FileId ws = st->wsFile;
 
+    // Page-cache budget tracking: register the WS file's evictor and
+    // mirror admissions/serves into the worker-wide tracker. With a
+    // zero budget this is pure accounting (peak-resident reporting);
+    // a non-zero budget sheds segments through dropFileCacheRange.
+    mem::TierCacheBudget *tb = ctx.tierBudget;
+    sim::Simulation *simp = &ctx.sim;
+    if (tb != nullptr) {
+        tb->registerFile(ws, [fs, ws](Bytes off, Bytes len) {
+            fs->dropFileCacheRange(ws, off, len);
+        });
+    }
+
     // Admission lands remote bytes in the WS file's cache pages with
     // asynchronous writeback — one hook populates both local tiers,
     // hung off the lowest enabled local tier (the one adjacent to the
@@ -375,7 +417,9 @@ TieredReapLoader::makeSource(LoadContext &ctx) const
     // admit into the page cache.
     std::function<sim::Task<void>(Bytes, Bytes)> cacheAdmit, ssdAdmit;
     if (ctx.reap.tieredAdmitOnMiss) {
-        auto admitLocal = [fs, ws](Bytes off, Bytes len) {
+        auto admitLocal = [fs, ws, tb, simp](Bytes off, Bytes len) {
+            if (tb != nullptr)
+                tb->admitted(ws, off, len, simp->now());
             return fs->writeBuffered(ws, off, len);
         };
         if (ctx.reap.tieredLocalTier)
@@ -385,13 +429,19 @@ TieredReapLoader::makeSource(LoadContext &ctx) const
     }
 
     if (ctx.reap.tieredPageCacheTier) {
+        std::function<void(Bytes, Bytes)> onServe;
+        if (tb != nullptr) {
+            onServe = [tb, ws](Bytes off, Bytes len) {
+                tb->touched(ws, off, len);
+            };
+        }
         tiered->addTier(mem::TieredPageSource::Tier{
             "page-cache",
             std::make_unique<mem::BufferedFileSource>(*fs, ws),
             [fs, ws](Bytes off, Bytes len) {
                 return fs->isCached(ws, off, len);
             },
-            std::move(cacheAdmit)});
+            std::move(cacheAdmit), std::move(onServe)});
     }
     if (ctx.reap.tieredLocalTier) {
         tiered->addTier(mem::TieredPageSource::Tier{
@@ -544,19 +594,54 @@ DedupReapLoader::ensureStaged(LoadContext ctx)
     // Keep m alive across the staging awaits even if a concurrent
     // invalidateRecord() drops the function's reference.
     auto pinned = ctx.st.manifests;
-    if (ctx.st.remoteStaged)
+    // Claim the previous version's manifests (delta re-record) before
+    // the first suspension point, so a concurrent second staging pass
+    // cannot release them twice. Their staged-chunk references stay
+    // held until staging below completes.
+    auto prev = std::move(ctx.st.prevManifests);
+    if (ctx.st.remoteStaged) {
+        if (prev) {
+            // Staged concurrently while we were dispatched: the
+            // winner already released (or inherited) nothing — these
+            // references are ours to drop.
+            ctx.stagedChunks.releaseManifest(prev->vmmState);
+            ctx.stagedChunks.releaseManifest(prev->ws);
+        }
         co_return;
+    }
     // Chunk-level staging: upload only chunks the staged index has
     // not seen — cross-function duplicates (and in-artifact repeats)
-    // are referenced, not re-uploaded, and travel compressed.
+    // are referenced, not re-uploaded, and travel compressed. On a
+    // re-record the previous version's references are still live, so
+    // unchanged chunks dedup-hit here and only churned chunks move:
+    // the delta.
+    std::int64_t uploaded = 0;
+    std::int64_t unchanged = 0;
+    Bytes uploaded_bytes = 0;
     for (const storage::ChunkManifest *man : {&m.vmmState, &m.ws}) {
         for (const storage::ChunkRef &c : man->chunks) {
-            if (ctx.stagedChunks.addRef(c))
+            if (ctx.stagedChunks.addRef(c, ctx.sim.now())) {
+                ++uploaded;
+                uploaded_bytes += c.storedBytes;
                 co_await ctx.artifactStore.putChunk(
                     c.storedBytes, {c.hash, artifactKey(ctx).scope});
+            } else {
+                ++unchanged;
+            }
         }
     }
     ctx.st.remoteStaged = true;
+    if (prev) {
+        // The delta landed: release the previous version. Chunks
+        // carried over stay referenced by the new manifests; chunks
+        // only the old version used drop their last reference here.
+        ++ctx.st.stats.deltaRestages;
+        ctx.st.stats.deltaChunksUploaded += uploaded;
+        ctx.st.stats.deltaBytesUploaded += uploaded_bytes;
+        ctx.st.stats.deltaChunksUnchanged += unchanged;
+        ctx.stagedChunks.releaseManifest(prev->vmmState);
+        ctx.stagedChunks.releaseManifest(prev->ws);
+    }
     if (ctx.reap.tieredFreshWorker) {
         // Same fresh-worker model as TieredReap: the first cold start
         // after staging pays the (chunked) remote path.

@@ -22,6 +22,7 @@
 #include "func/trace_gen.hh"
 #include "host/cpu_pool.hh"
 #include "mem/chunk_source.hh"
+#include "mem/tier_budget.hh"
 #include "mem/uffd.hh"
 #include "net/object_store.hh"
 #include "sim/simulation.hh"
@@ -81,6 +82,14 @@ struct LoadContext
      * instead of duplicating it or seeing it as already resident.
      */
     mem::ChunkFlights &chunkFlights;
+
+    /**
+     * Worker-wide page-cache tier budget (null = untracked). Tiered
+     * chains register their WS file here and report admissions and
+     * serves so the budget can account — and, when non-zero, shed —
+     * the warm-tier bytes tiered admission created.
+     */
+    mem::TierCacheBudget *tierBudget = nullptr;
 };
 
 /**

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/eviction.hh"
 #include "util/units.hh"
 
 namespace vhive::core {
@@ -248,6 +249,43 @@ struct ReapOptions
      * warming traffic from competing with foreground cold starts.
      */
     Duration bgWarmPace = msec(1);
+
+    // ----------------------------------------- Cache-economics knobs
+
+    /**
+     * Byte budget of the host page-cache warm tier (tiered chains).
+     * 0 (default) = unlimited — the historical behaviour. Enforced
+     * worker-wide at page granularity.
+     */
+    Bytes pageCacheBudget = 0;
+
+    /**
+     * Byte budget of the local-SSD artifact tier: total bytes of
+     * locally-held snapshot artifacts across functions. 0 = unlimited.
+     * Enforced at function-artifact granularity (evicting a victim
+     * function's local copy, as evictLocalArtifacts does).
+     */
+    Bytes ssdBudget = 0;
+
+    /**
+     * Byte budget (stored/compressed bytes) of the worker's resident
+     * chunk cache (DedupReap). 0 = unlimited.
+     */
+    Bytes chunkCacheBudget = 0;
+
+    /** Victim selection for every budgeted worker cache. */
+    storage::EvictionPolicyKind evictionPolicy =
+        storage::EvictionPolicyKind::Lru;
+
+    /**
+     * Delta re-record content churn: per re-record version, the
+     * probability that a function-unique chunk's content changed since
+     * the previous record. Shared-pool chunks never churn (the runtime
+     * image is immutable). Only re-records (version >= 2) consult
+     * this, so version-1 manifests are bit-identical to builds without
+     * the knob.
+     */
+    double rerecordChurn = 0.25;
 };
 
 /**
@@ -262,6 +300,16 @@ struct TierBreakdown
     std::int64_t misses = 0;
     std::int64_t admissions = 0;
     Bytes bytes = 0;
+
+    /** Bytes resident in the tier when this row was sampled. */
+    Bytes residentBytes = 0;
+
+    /** High-water mark of bytes resident in the tier. */
+    Bytes peakResidentBytes = 0;
+
+    /** Bytes evicted from the tier by budget pressure. */
+    Bytes bytesEvicted = 0;
+
     Duration time = 0;
 };
 

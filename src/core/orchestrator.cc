@@ -39,6 +39,13 @@ Orchestrator::Orchestrator(sim::Simulation &sim, storage::FileStore &fs,
       gen(gen), vmmParams(vmm_params), reap(reap),
       uffdParams(uffd_params)
 {
+    // Cache-economics knobs: zero budgets leave every store/tracker
+    // in pure-accounting mode (bit-identical to unbudgeted builds).
+    _localChunks.setBudget(this->reap.chunkCacheBudget,
+                           this->reap.evictionPolicy,
+                           /*refcount_protected=*/false);
+    _tierBudget.setBudget(this->reap.pageCacheBudget,
+                          this->reap.evictionPolicy);
 }
 
 void
@@ -105,10 +112,20 @@ Orchestrator::adoptStagedArtifacts(
     std::shared_ptr<const vmm::SnapshotManifests> manifests)
 {
     FunctionState &st = state(name);
+    // The registry's staging pass (or its delta restage) owns the
+    // version handoff: any previous-version manifests this worker
+    // still retains are stale — their references (held only when this
+    // worker staged them itself) go now, not at the next re-record.
+    if (st.prevManifests) {
+        _stagedChunks.releaseManifest(st.prevManifests->vmmState);
+        _stagedChunks.releaseManifest(st.prevManifests->ws);
+        st.prevManifests.reset();
+    }
     if (st.recorded) {
         // The building worker: artifacts already exist locally, the
         // registry's put() just made them shared.
         st.remoteStaged = true;
+        st.manifests = std::move(manifests);
         return;
     }
     st.manifests = std::move(manifests);
@@ -263,13 +280,20 @@ Orchestrator::invoke(const std::string &name, ColdStartMode mode,
                             gen,        vmmParams, reap, uffdParams,
                             st,         inst,  trace,    opts,
                             _localChunks,      _stagedChunks,
-                            artifactStore,     _chunkFlights};
+                            artifactStore,     _chunkFlights,
+                            &_tierBudget};
 
     LatencyBreakdown bd;
+    ++st.activeColds; // shield the artifacts from the SSD budget
     if (ld.needsRecord() && !st.recorded)
         bd = co_await _loaders.recordLoader().load(ctx);
     else
         bd = co_await ld.load(ctx);
+    --st.activeColds;
+    if (st.artifactsLocal) {
+        st.artifactLruSeq = ++_artifactLru;
+        enforceSsdBudget(sim.now());
+    }
 
     if (opts.warmupOnly) {
         // Pre-warm complete: the instance sits warm and idle, the
@@ -483,9 +507,15 @@ double
 Orchestrator::chunkResidency(const std::string &name) const
 {
     const FunctionState &st = state(name);
+    // Local artifacts serve the next cold start without any remote
+    // fetch (even in chunked modes the local-path loaders win), so a
+    // worker holding them is fully "resident" no matter how empty its
+    // chunk cache is — prefetching for it would move dead bytes.
+    if (st.artifactsLocal)
+        return 1.0;
     if (st.manifests)
         return _localChunks.residentFraction(st.manifests->ws);
-    return st.artifactsLocal ? 1.0 : 0.0;
+    return 0.0;
 }
 
 void
@@ -498,13 +528,100 @@ Orchestrator::invalidateRecord(const std::string &name)
     // Admission counters describe the old record's content.
     st.tierAdmitCounts.clear();
     if (st.manifests) {
-        // The staged chunks this record referenced are dead to this
-        // function; the index drops the last-referenced ones. The
-        // worker chunk cache is content-addressed and never stale, so
-        // its entries stay.
-        _stagedChunks.releaseManifest(st.manifests->vmmState);
-        _stagedChunks.releaseManifest(st.manifests->ws);
+        // Delta re-record: keep the outgoing manifests — with their
+        // staged-chunk references still held — so the re-record's
+        // staging can diff against them. Unchanged chunks stay
+        // referenced through the swap and are never re-uploaded; the
+        // old references release once the delta lands. A second
+        // invalidation before that point makes the intermediate
+        // version unreachable, so its references go now.
+        if (st.prevManifests) {
+            _stagedChunks.releaseManifest(st.prevManifests->vmmState);
+            _stagedChunks.releaseManifest(st.prevManifests->ws);
+        }
+        st.prevManifests = std::move(st.manifests);
         st.manifests.reset();
+    }
+}
+
+void
+Orchestrator::retireRecord(const std::string &name)
+{
+    FunctionState &st = state(name);
+    VHIVE_ASSERT(st.activeColds == 0);
+    for (auto &m : {st.manifests, st.prevManifests}) {
+        if (!m)
+            continue;
+        _stagedChunks.releaseManifest(m->vmmState);
+        _stagedChunks.releaseManifest(m->ws);
+    }
+    st.manifests.reset();
+    st.prevManifests.reset();
+    st.recorded = false;
+    st.remoteStaged = false;
+    st.recordVersion = 0;
+    st.prefetchPinnedUntil = -1;
+    st.tierAdmitCounts.clear();
+    st.evictLocalArtifacts(fs);
+    if (st.wsFile != storage::kInvalidFile)
+        _tierBudget.invalidated(st.wsFile);
+    if (st.traceFile != storage::kInvalidFile)
+        _tierBudget.invalidated(st.traceFile);
+}
+
+void
+Orchestrator::enforceSsdBudget(Time now)
+{
+    auto localBytes = [this](const FunctionState &st) {
+        return vmmParams.vmmStateSize +
+               std::max<Bytes>(st.record.wsFileBytes(), kPageSize);
+    };
+    Bytes resident = 0;
+    for (const auto &entry : functions)
+        if (entry.second.recorded && entry.second.artifactsLocal)
+            resident += localBytes(entry.second);
+    _peakSsdBytes = std::max(_peakSsdBytes, resident);
+    if (reap.ssdBudget <= 0 || resident <= reap.ssdBudget)
+        return;
+
+    const storage::EvictionPolicy &pol =
+        storage::evictionPolicyFor(reap.evictionPolicy);
+    std::vector<storage::EvictionCandidate> cands;
+    std::vector<FunctionState *> owners;
+    for (auto &entry : functions) {
+        FunctionState &st = entry.second;
+        // Never evict mid-cold-start (the tiered chain reads
+        // artifactsLocal across suspension points), and never drop
+        // the only copy (no remote stage to refetch from).
+        if (!st.recorded || !st.artifactsLocal ||
+            st.activeColds > 0 || !st.remoteStaged)
+            continue;
+        storage::EvictionCandidate c;
+        c.key = net::placementScope(entry.first);
+        c.bytes = localBytes(st);
+        c.lruSeq = st.artifactLruSeq;
+        c.shares = static_cast<std::int64_t>(st.instances.size());
+        c.pinnedUntil = st.prefetchPinnedUntil;
+        cands.push_back(c);
+        owners.push_back(&st);
+    }
+    while (resident > reap.ssdBudget && !cands.empty()) {
+        std::ptrdiff_t v = pol.pickVictim(cands, now);
+        VHIVE_ASSERT(v >= 0);
+        auto vi = static_cast<std::size_t>(v);
+        FunctionState &st = *owners[vi];
+        resident -= cands[vi].bytes;
+        _ssdEvictedBytes += cands[vi].bytes;
+        ++_ssdEvictions;
+        st.evictLocalArtifacts(fs);
+        if (st.wsFile != storage::kInvalidFile)
+            _tierBudget.invalidated(st.wsFile);
+        if (st.traceFile != storage::kInvalidFile)
+            _tierBudget.invalidated(st.traceFile);
+        cands[vi] = cands.back();
+        cands.pop_back();
+        owners[vi] = owners.back();
+        owners.pop_back();
     }
 }
 
@@ -563,12 +680,22 @@ Orchestrator::preWarm(const std::string &name, ColdStartMode mode)
 }
 
 sim::Task<Bytes>
-Orchestrator::backgroundPrefetch(const std::string &name)
+Orchestrator::backgroundPrefetch(const std::string &name,
+                                 Time pin_until)
 {
     FunctionState &st = state(name);
     if (!st.recorded || _bgPrefetching.count(name) > 0)
         co_return 0;
     _bgPrefetching.insert(name);
+    if (pin_until >= 0) {
+        // Shield the prefetched bytes (chunks, page-cache segments,
+        // and the SSD artifact copy) from budget eviction until the
+        // predicted invocation window passes.
+        st.prefetchPinnedUntil =
+            std::max(st.prefetchPinnedUntil, pin_until);
+        if (st.wsFile != storage::kInvalidFile)
+            _tierBudget.pinFileUntil(st.wsFile, pin_until);
+    }
     Bytes moved = 0;
     if (st.manifests) {
         // Content-addressed path: paced background fetch of every WS
@@ -583,7 +710,8 @@ Orchestrator::backgroundPrefetch(const std::string &name)
                                  &_localChunks, p, &_chunkFlights,
                                  scope);
         src.retain(st.manifests);
-        moved = co_await src.prefetchMissing(reap.bgWarmPace);
+        moved = co_await src.prefetchMissing(reap.bgWarmPace,
+                                             pin_until);
     } else if (st.remoteStaged && !st.artifactsLocal) {
         // Blob path: background-GET the staged WS object and land it
         // in the local WS file (page cache + async writeback), the
@@ -598,6 +726,11 @@ Orchestrator::backgroundPrefetch(const std::string &name)
         co_await fs.writeBuffered(st.wsFile, 0, len);
         st.artifactsLocal = true;
         moved = len;
+    }
+    if (pin_until >= 0 && st.wsFile != storage::kInvalidFile) {
+        // Re-apply for the segments the prefetch itself just created
+        // (pinFileUntil covers only segments tracked at call time).
+        _tierBudget.pinFileUntil(st.wsFile, pin_until);
     }
     if (moved > 0)
         ++_bgPrefetches;

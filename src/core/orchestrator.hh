@@ -28,6 +28,7 @@
 #include "func/trace_gen.hh"
 #include "host/cpu_pool.hh"
 #include "mem/chunk_source.hh"
+#include "mem/tier_budget.hh"
 #include "mem/uffd.hh"
 #include "net/object_store.hh"
 #include "sim/fault.hh"
@@ -138,9 +139,12 @@ class Orchestrator
      * chunks (ChunkPageSource::prefetchMissing, paced); blob-staged
      * functions without a local artifact copy background-fetch the WS
      * object through the tiered admission path. Requires a recorded
-     * working set (no-op otherwise). @return bytes moved.
+     * working set (no-op otherwise). @p pin_until, when >= 0, shields
+     * the prefetched bytes from budget eviction (PrefetchPinned
+     * policy) until the predicted window passes. @return bytes moved.
      */
-    sim::Task<Bytes> backgroundPrefetch(const std::string &name);
+    sim::Task<Bytes> backgroundPrefetch(const std::string &name,
+                                        Time pin_until = -1);
 
     /** Instances of @p name with a pre-warm currently in flight. */
     std::int64_t warmingCount(const std::string &name) const;
@@ -225,8 +229,51 @@ class Orchestrator
         return _stagedChunks;
     }
 
-    /** Invalidate the record so the next cold start re-records. */
+    /**
+     * Invalidate the record so the next cold start re-records. The
+     * current manifests (if any) are retained as the *previous*
+     * version — with their staged-chunk references still held — so the
+     * re-record's staging can diff against them and move only the
+     * changed chunks (delta manifests); the old references release
+     * once the delta lands.
+     */
     void invalidateRecord(const std::string &name);
+
+    /**
+     * Retire @p name's record for good (fleet GC): release every
+     * staged-chunk reference the current and previous manifests hold,
+     * drop the local artifact copy, and reset the record version. The
+     * caller must have stopped the function's instances first (no
+     * cold start may be in flight). Unlike invalidateRecord, nothing
+     * is kept for delta diffing — the function is gone.
+     */
+    void retireRecord(const std::string &name);
+
+    /**
+     * Enforce the local-SSD artifact budget (ReapOptions::ssdBudget):
+     * while the summed artifact bytes of functions with a local copy
+     * exceed the budget, evict the policy's victim via
+     * evictLocalArtifacts. Functions mid-cold-start, or whose only
+     * copy is local (never remote-staged), are never evicted. Called
+     * after every cold start; also callable directly by tests.
+     */
+    void enforceSsdBudget(Time now);
+
+    /** Local-SSD artifact copies evicted by the SSD budget. */
+    std::int64_t ssdEvictions() const { return _ssdEvictions; }
+
+    /** Bytes those evictions dropped. */
+    Bytes ssdEvictedBytes() const { return _ssdEvictedBytes; }
+
+    /** High-water mark of summed local artifact bytes. */
+    Bytes peakSsdBytes() const { return _peakSsdBytes; }
+
+    /** The worker's page-cache tier budget tracker. */
+    mem::TierCacheBudget &tierBudget() { return _tierBudget; }
+    const mem::TierCacheBudget &tierBudget() const
+    {
+        return _tierBudget;
+    }
 
     /**
      * Drop the local-SSD copy of @p name's snapshot artifacts (the
@@ -322,6 +369,7 @@ class Orchestrator
     storage::ChunkStore _localChunks;
     storage::ChunkStore _stagedChunks;
     mem::ChunkFlights _chunkFlights;
+    mem::TierCacheBudget _tierBudget;
     Bytes memoryCapacity = 0;
 
     /** Installed fault plan (borrowed; null = fault-free). */
@@ -335,6 +383,12 @@ class Orchestrator
     std::uint64_t _nextInstanceId = 0;
     std::int64_t _wastedPreWarms = 0;
     std::int64_t _bgPrefetches = 0;
+    std::int64_t _ssdEvictions = 0;
+    Bytes _ssdEvictedBytes = 0;
+    Bytes _peakSsdBytes = 0;
+
+    /** Recency counter feeding FunctionState::artifactLruSeq. */
+    std::uint64_t _artifactLru = 0;
 
     /** Functions with a background prefetch in flight (single-flight). */
     std::set<std::string> _bgPrefetching;

@@ -38,6 +38,7 @@ ChunkPageSource::read(Bytes offset, Bytes len)
     // fetches itself, registering a flight gate per chunk.
     std::vector<size_t> missing;
     std::vector<std::shared_ptr<sim::Gate>> waits;
+    std::vector<storage::ChunkHash> held;
     std::set<storage::ChunkHash> wait_seen;
     std::int64_t cache_chunks = 0, wait_chunks = 0;
     Bytes cache_portion = 0, wait_portion = 0, remote_portion = 0;
@@ -47,6 +48,12 @@ ChunkPageSource::read(Bytes offset, Bytes len)
         Bytes portion = std::min(offset + len, cstart + ref.rawBytes) -
                         std::max(offset, cstart);
         if (cache->contains(ref.hash)) {
+            // Serve-from-cache: recency for the eviction policy, and
+            // a hard pin so a budgeted cache never sheds the chunk
+            // between this classification and the copy below.
+            cache->touch(ref.hash);
+            cache->pin(ref.hash);
+            held.push_back(ref.hash);
             ++cache_chunks;
             cache_portion += portion;
             continue;
@@ -132,12 +139,20 @@ ChunkPageSource::read(Bytes offset, Bytes len)
         _chunkStats.cacheChunks += cache_chunks;
         _chunkStats.rawBytesFromCache += cache_portion;
     }
+
+    for (storage::ChunkHash h : held)
+        cache->unpin(h);
 }
 
 sim::Task<void>
 ChunkPageSource::fetchGroup(std::vector<size_t> group, Duration pace,
-                            sim::Latch *done)
+                            sim::Latch *done, Time pin_until)
 {
+    // Admissions stay hard-pinned until the whole group lands: later
+    // batches' budget enforcement must not shed a chunk this fetch
+    // just paid for before its reader ever copies it.
+    std::vector<storage::ChunkHash> held;
+    held.reserve(group.size());
     for (size_t b = 0; b < group.size();
          b += static_cast<size_t>(params.batchChunks)) {
         size_t n = std::min<size_t>(
@@ -163,7 +178,11 @@ ChunkPageSource::fetchGroup(std::vector<size_t> group, Duration pace,
         co_await sim.delay(decompress);
         for (size_t k = b; k < b + n; ++k) {
             const storage::ChunkRef &ref = manifest.chunks[group[k]];
-            cache->addRef(ref);
+            cache->addRef(ref, sim.now());
+            cache->pin(ref.hash);
+            held.push_back(ref.hash);
+            if (pin_until >= 0)
+                cache->pinUntil(ref.hash, pin_until);
             auto it = flights->find(ref.hash);
             if (it != flights->end()) {
                 it->second->openGate();
@@ -178,6 +197,11 @@ ChunkPageSource::fetchGroup(std::vector<size_t> group, Duration pace,
         if (pace > 0 && b + n < group.size())
             co_await sim.delay(pace);
     }
+    for (storage::ChunkHash h : held)
+        cache->unpin(h);
+    // Pins held across the group may have blocked reclamation; settle
+    // the budget now that they are gone.
+    cache->enforceBudget(sim.now());
     if (done != nullptr)
         done->arrive();
 }
@@ -189,16 +213,23 @@ ChunkPageSource::readAll()
 }
 
 sim::Task<Bytes>
-ChunkPageSource::prefetchMissing(Duration pace)
+ChunkPageSource::prefetchMissing(Duration pace, Time pin_until)
 {
     Bytes before = _chunkStats.rawBytesFetched;
     // Claim every chunk neither resident nor in flight (no suspension
     // between the check and the flight registration), grouped by the
-    // shard that stores it.
+    // shard that stores it. Already-resident chunks still get the
+    // prefetch shield — the predictor asked for the whole manifest to
+    // survive until its window.
     std::map<int, std::vector<size_t>> by_shard;
     for (size_t i = 0; i < manifest.chunks.size(); ++i) {
         const storage::ChunkRef &ref = manifest.chunks[i];
-        if (cache->contains(ref.hash) || flights->count(ref.hash))
+        if (cache->contains(ref.hash)) {
+            if (pin_until >= 0)
+                cache->pinUntil(ref.hash, pin_until);
+            continue;
+        }
+        if (flights->count(ref.hash))
             continue;
         flights->emplace(ref.hash, std::make_shared<sim::Gate>(sim));
         by_shard[store.shardOf({ref.hash, scope})].push_back(i);
@@ -207,7 +238,8 @@ ChunkPageSource::prefetchMissing(Duration pace)
     // unlike read(), which fans groups out for latency.
     for (auto &[shard, group] : by_shard) {
         (void)shard;
-        co_await fetchGroup(std::move(group), pace, nullptr);
+        co_await fetchGroup(std::move(group), pace, nullptr,
+                            pin_until);
     }
     co_return _chunkStats.rawBytesFetched - before;
 }
@@ -215,7 +247,11 @@ ChunkPageSource::prefetchMissing(Duration pace)
 std::vector<TierStats>
 ChunkPageSource::tierStats() const
 {
-    return {cacheRow, remoteRow};
+    TierStats c = cacheRow;
+    c.residentBytes = cache->storedBytes();
+    c.peakResidentBytes = cache->stats().peakStoredBytes;
+    c.bytesEvicted = cache->stats().budgetEvictedBytes;
+    return {c, remoteRow};
 }
 
 } // namespace vhive::mem

@@ -134,9 +134,12 @@ class ChunkPageSource final : public PageSource
      * pause between batches (the chunk-level analogue of
      * PageFetchPipeline::fetchBackground). Never waits on other
      * readers' flights — the point is warming, not serving a read.
-     * @return raw bytes fetched.
+     * @p pin_until, when >= 0, stamps every fetched chunk with a soft
+     * prefetch shield the PrefetchPinned eviction policy honours
+     * until that instant. @return raw bytes fetched.
      */
-    sim::Task<Bytes> prefetchMissing(Duration pace);
+    sim::Task<Bytes> prefetchMissing(Duration pace,
+                                     Time pin_until = -1);
 
   private:
     /**
@@ -144,10 +147,12 @@ class ChunkPageSource final : public PageSource
      * GETs: transfer, decompress, admit, open flight gates. @p pace
      * inserts a pause between batches (background prefetch); @p done,
      * when non-null, is arrived at on completion (concurrent per-shard
-     * issue from read()).
+     * issue from read()). Admitted chunks are hard-pinned for the
+     * duration of the group so a budgeted cache never sheds a chunk
+     * mid-fetch; @p pin_until additionally soft-shields them.
      */
     sim::Task<void> fetchGroup(std::vector<size_t> group, Duration pace,
-                               sim::Latch *done);
+                               sim::Latch *done, Time pin_until = -1);
 
     sim::Simulation &sim;
     net::ArtifactStore &store;

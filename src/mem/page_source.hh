@@ -53,6 +53,15 @@ struct TierStats
     /** Bytes admitted into this tier from below. */
     Bytes bytesAdmitted = 0;
 
+    /** Bytes resident in this tier when the row was sampled. */
+    Bytes residentBytes = 0;
+
+    /** High-water mark of bytes resident in this tier. */
+    Bytes peakResidentBytes = 0;
+
+    /** Bytes evicted from this tier by budget pressure. */
+    Bytes bytesEvicted = 0;
+
     /** Time spent serving from this tier (source occupancy). */
     Duration time = 0;
 };

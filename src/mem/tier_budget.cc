@@ -1,0 +1,144 @@
+#include "mem/tier_budget.hh"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace vhive::mem {
+
+TierCacheBudget::TierCacheBudget(Bytes budget,
+                                 storage::EvictionPolicyKind kind)
+{
+    setBudget(budget, kind);
+}
+
+void
+TierCacheBudget::setBudget(Bytes budget,
+                           storage::EvictionPolicyKind k)
+{
+    VHIVE_ASSERT(budget >= 0);
+    _budget = budget;
+    kind = k;
+    policy = budget > 0 ? &storage::evictionPolicyFor(k) : nullptr;
+}
+
+void
+TierCacheBudget::registerFile(std::int32_t file, Evictor evict)
+{
+    evictors.emplace(file, std::move(evict));
+}
+
+void
+TierCacheBudget::admitted(std::int32_t file, Bytes offset, Bytes len,
+                          Time now)
+{
+    if (len <= 0 || evictors.find(file) == evictors.end())
+        return;
+    Bytes first = offset / kPageSize;
+    Bytes last = (offset + len - 1) / kPageSize;
+    for (Bytes seg = first / kSegmentPages;
+         seg <= last / kSegmentPages; ++seg) {
+        Bytes lo = std::max(first, seg * kSegmentPages);
+        Bytes hi = std::min(last, (seg + 1) * kSegmentPages - 1);
+        std::uint64_t mask = 0;
+        for (Bytes p = lo; p <= hi; ++p)
+            mask |= 1ULL << (p - seg * kSegmentPages);
+        Segment &s = segments[keyOf(file, seg)];
+        std::uint64_t fresh = mask & ~s.pages;
+        s.pages |= mask;
+        s.lruSeq = ++lruCounter;
+        ++s.uses;
+        _resident +=
+            static_cast<Bytes>(std::popcount(fresh)) * kPageSize;
+    }
+    _peak = std::max(_peak, _resident);
+    enforce(now);
+}
+
+void
+TierCacheBudget::touched(std::int32_t file, Bytes offset, Bytes len)
+{
+    if (len <= 0)
+        return;
+    Bytes first = offset / kPageSize;
+    Bytes last = (offset + len - 1) / kPageSize;
+    for (Bytes seg = first / kSegmentPages;
+         seg <= last / kSegmentPages; ++seg) {
+        auto it = segments.find(keyOf(file, seg));
+        if (it == segments.end())
+            continue;
+        it->second.lruSeq = ++lruCounter;
+        ++it->second.uses;
+    }
+}
+
+void
+TierCacheBudget::pinFileUntil(std::int32_t file, Time until)
+{
+    for (auto &[key, seg] : segments)
+        if (static_cast<std::int32_t>(key >> 32) == file)
+            seg.pinnedUntil = std::max(seg.pinnedUntil, until);
+}
+
+void
+TierCacheBudget::invalidated(std::int32_t file)
+{
+    for (auto it = segments.begin(); it != segments.end();) {
+        if (static_cast<std::int32_t>(it->first >> 32) == file) {
+            _resident -=
+                static_cast<Bytes>(std::popcount(it->second.pages)) *
+                kPageSize;
+            it = segments.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+TierCacheBudget::enforce(Time now)
+{
+    if (_budget <= 0 || _resident <= _budget)
+        return;
+    std::vector<storage::EvictionCandidate> cands;
+    cands.reserve(segments.size());
+    for (const auto &[key, seg] : segments) {
+        storage::EvictionCandidate c;
+        c.key = key;
+        c.bytes =
+            static_cast<Bytes>(std::popcount(seg.pages)) * kPageSize;
+        c.lruSeq = seg.lruSeq;
+        c.shares = seg.uses;
+        c.pinnedUntil = seg.pinnedUntil;
+        cands.push_back(c);
+    }
+    while (_resident > _budget && !cands.empty()) {
+        std::ptrdiff_t v = policy->pickVictim(cands, now);
+        VHIVE_ASSERT(v >= 0);
+        auto vi = static_cast<std::size_t>(v);
+        std::uint64_t key = cands[vi].key;
+        auto it = segments.find(key);
+        VHIVE_ASSERT(it != segments.end());
+        auto file = static_cast<std::int32_t>(key >> 32);
+        Bytes seg = static_cast<Bytes>(key & 0xffffffffULL);
+        Bytes bytes =
+            static_cast<Bytes>(std::popcount(it->second.pages)) *
+            kPageSize;
+        auto ev = evictors.find(file);
+        VHIVE_ASSERT(ev != evictors.end());
+        // Dropping the whole segment is correct even for partially
+        // tracked ones: untracked pages inside it were not resident
+        // (or not ours to count), and dropFileCacheRange is idempotent.
+        ev->second(seg * kSegmentBytes, kSegmentBytes);
+        _resident -= bytes;
+        _evicted += bytes;
+        ++_evictions;
+        segments.erase(it);
+        cands[vi] = cands.back();
+        cands.pop_back();
+    }
+}
+
+} // namespace vhive::mem

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * TierCacheBudget: a worker-wide byte budget over the host page-cache
+ * warm tier (ROADMAP item 3). The FileStore's per-page cached bits are
+ * ground truth for residency; this tracker mirrors the pages that
+ * *tiered admission* put there — the bytes the economics layer
+ * controls — in 64-page segments, and sheds whole segments through
+ * FileStore::dropFileCacheRange when admissions push the tracked
+ * bytes past the budget. Victim choice delegates to the same
+ * storage::EvictionPolicy registry the chunk caches use.
+ *
+ * Segments (256 KiB) rather than pages keep the candidate set small
+ * and make eviction drop contiguous runs — the fadvise(DONTNEED)
+ * shape a real pager would use. A zero budget disables eviction but
+ * keeps the resident/peak accounting, so unbudgeted runs report
+ * high-water marks while remaining behaviourally identical to
+ * historical builds.
+ */
+
+#ifndef VHIVE_MEM_TIER_BUDGET_HH
+#define VHIVE_MEM_TIER_BUDGET_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "storage/eviction.hh"
+#include "util/units.hh"
+
+namespace vhive::mem {
+
+class TierCacheBudget
+{
+  public:
+    /** Pages per tracked segment (64 pages = 256 KiB). */
+    static constexpr Bytes kSegmentPages = 64;
+    static constexpr Bytes kSegmentBytes = kSegmentPages * kPageSize;
+
+    /** Evicts [offset, offset+len) of one registered file's pages. */
+    using Evictor = std::function<void(Bytes offset, Bytes len)>;
+
+    explicit TierCacheBudget(
+        Bytes budget = 0,
+        storage::EvictionPolicyKind kind =
+            storage::EvictionPolicyKind::Lru);
+
+    void setBudget(Bytes budget, storage::EvictionPolicyKind kind);
+
+    Bytes budget() const { return _budget; }
+    Bytes residentBytes() const { return _resident; }
+    Bytes peakResidentBytes() const { return _peak; }
+    Bytes evictedBytes() const { return _evicted; }
+    std::int64_t evictions() const { return _evictions; }
+
+    /**
+     * Register @p file's evict closure (idempotent). Admissions for
+     * unregistered files are ignored — only files wired for eviction
+     * are budget-tracked.
+     */
+    void registerFile(std::int32_t file, Evictor evict);
+
+    /**
+     * Record that tiered admission cached [offset, offset+len) of
+     * @p file, then enforce the budget. @p now feeds the eviction
+     * policy's prefetch-shield clock.
+     */
+    void admitted(std::int32_t file, Bytes offset, Bytes len,
+                  Time now);
+
+    /** Record a page-cache-tier serve (recency + sharing signal). */
+    void touched(std::int32_t file, Bytes offset, Bytes len);
+
+    /**
+     * Soft prefetch shield: segments of @p file admitted so far stay
+     * shielded (PrefetchPinned policy) until @p until.
+     */
+    void pinFileUntil(std::int32_t file, Time until);
+
+    /**
+     * Forget every tracked segment of @p file without calling the
+     * evictor — the caller already dropped the pages (dropFileCaches,
+     * truncate, artifact eviction).
+     */
+    void invalidated(std::int32_t file);
+
+  private:
+    struct Segment
+    {
+        std::uint64_t pages = 0; ///< bit i = page (seg*64 + i) cached
+        std::uint64_t lruSeq = 0;
+        std::int64_t uses = 0;
+        Time pinnedUntil = -1;
+    };
+
+    static std::uint64_t
+    keyOf(std::int32_t file, Bytes seg)
+    {
+        return (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(file))
+                << 32) |
+               static_cast<std::uint64_t>(seg);
+    }
+
+    void enforce(Time now);
+
+    Bytes _budget = 0;
+    const storage::EvictionPolicy *policy = nullptr;
+    storage::EvictionPolicyKind kind =
+        storage::EvictionPolicyKind::Lru;
+    std::unordered_map<std::int32_t, Evictor> evictors;
+    std::unordered_map<std::uint64_t, Segment> segments;
+    std::uint64_t lruCounter = 0;
+    Bytes _resident = 0;
+    Bytes _peak = 0;
+    Bytes _evicted = 0;
+    std::int64_t _evictions = 0;
+};
+
+} // namespace vhive::mem
+
+#endif // VHIVE_MEM_TIER_BUDGET_HH

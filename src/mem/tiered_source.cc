@@ -47,6 +47,8 @@ TieredPageSource::read(Bytes offset, Bytes len)
     TierStats &st = _stats[serving];
     ++st.hits;
     st.bytes += len;
+    if (tiers[serving].onServe)
+        tiers[serving].onServe(offset, len);
     Time t0 = sim.now();
     co_await tiers[serving].source->read(offset, len);
     // Source occupancy: concurrent windows overlap, so summed tier

@@ -62,6 +62,13 @@ class TieredPageSource final : public PageSource
          * cache with asynchronous writeback). Null: not admittable.
          */
         std::function<sim::Task<void>(Bytes offset, Bytes len)> admit;
+
+        /**
+         * Notified (synchronously, before the source read) whenever
+         * this tier serves a range — the recency signal a byte-budget
+         * tracker needs. Null: no one is watching.
+         */
+        std::function<void(Bytes offset, Bytes len)> onServe;
     };
 
     explicit TieredPageSource(sim::Simulation &sim) : sim(sim) {}

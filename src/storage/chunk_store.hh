@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/eviction.hh"
 #include "util/units.hh"
 
 namespace vhive::storage {
@@ -114,6 +115,18 @@ struct ChunkStoreStats
     /** Chunks evicted because their refcount dropped to zero. */
     std::int64_t evictions = 0;
 
+    /** Chunks evicted by byte-budget pressure (setBudget). */
+    std::int64_t budgetEvictions = 0;
+
+    /** Stored bytes reclaimed by budget evictions. */
+    Bytes budgetEvictedBytes = 0;
+
+    /** High-water mark of resident stored (compressed) bytes. */
+    Bytes peakStoredBytes = 0;
+
+    /** High-water mark of resident raw bytes. */
+    Bytes peakRawBytes = 0;
+
     /** Raw bytes across all addRef() calls (logical artifact bytes). */
     Bytes logicalRawBytes = 0;
 
@@ -126,6 +139,16 @@ struct ChunkStoreStats
  * once with a reference count; release() of the last reference evicts
  * the chunk. Two chunks with equal hashes must agree on both sizes
  * (content identity implies size identity) — addRef() asserts this.
+ *
+ * With a byte budget (setBudget) the store becomes a size-capped
+ * cache: admissions that push resident stored bytes past the budget
+ * evict victims chosen by a pluggable EvictionPolicy. Hard-pinned
+ * entries (pin(), covering mid-fetch/mid-read windows) are never
+ * victims; with refcountProtected neither is anything still
+ * referenced, and zero-ref chunks are *retained* as the evictable
+ * pool instead of dropped eagerly — a re-stage of a retained chunk is
+ * a dedup hit, not an upload. A zero budget (the default) keeps the
+ * exact historical behaviour, including evict-at-zero-refs.
  */
 class ChunkStore
 {
@@ -134,11 +157,27 @@ class ChunkStore
     bool contains(ChunkHash hash) const;
 
     /**
+     * Cap resident stored bytes at @p budget (0 = unlimited, the
+     * historical behaviour). @p refcount_protected shields chunks
+     * with live references from eviction *and* retains zero-ref
+     * chunks for reuse (the fleet staged-index role); without it refs
+     * are admission bookkeeping only and any unpinned chunk is fair
+     * game (the worker cache role).
+     */
+    void setBudget(Bytes budget,
+                   EvictionPolicyKind policy = EvictionPolicyKind::Lru,
+                   bool refcount_protected = false);
+
+    Bytes budget() const { return _budget; }
+
+    /**
      * Add one reference to @p ref's chunk, storing it when absent.
      * @return true when the chunk was newly stored (the caller owes an
      * upload), false when deduplicated against an existing copy.
+     * Budgeted stores enforce the cap before returning; @p now feeds
+     * the eviction policy's prefetch-shield clock.
      */
-    bool addRef(const ChunkRef &ref);
+    bool addRef(const ChunkRef &ref, Time now = 0);
 
     /**
      * Drop one reference; evicts the chunk when the count reaches
@@ -150,6 +189,39 @@ class ChunkStore
 
     /** Current reference count of @p hash (0 when absent). */
     std::int64_t refCount(ChunkHash hash) const;
+
+    /**
+     * Record a serve of @p hash: bumps its LRU recency and sharing
+     * score. No-op when absent. Pure bookkeeping — never changes
+     * behaviour of an unbudgeted store.
+     */
+    void touch(ChunkHash hash);
+
+    /**
+     * Hard pin: @p hash is never an eviction victim while pinned.
+     * Covers single-flight admissions and in-progress reads. Both are
+     * no-ops when the hash is absent (an unbudgeted evict-at-zero may
+     * race an unpin).
+     */
+    void pin(ChunkHash hash);
+    void unpin(ChunkHash hash);
+
+    /** Hard-pin count of @p hash (0 when absent; tests). */
+    std::int64_t pinCount(ChunkHash hash) const;
+
+    /**
+     * Soft prefetch shield: mark @p hash as prefetched for a predicted
+     * window ending at @p until (monotonic max; no-op when absent).
+     * Only the PrefetchPinned policy honours it.
+     */
+    void pinUntil(ChunkHash hash, Time until);
+
+    /**
+     * Evict (policy-chosen) until resident stored bytes fit the
+     * budget. Called by addRef on budgeted stores; public so callers
+     * can re-enforce after pins drop. No-op when unbudgeted.
+     */
+    void enforceBudget(Time now);
 
     /** Distinct chunks currently stored. */
     std::int64_t chunkCount() const
@@ -189,11 +261,25 @@ class ChunkStore
         Bytes rawBytes = 0;
         Bytes storedBytes = 0;
         std::int64_t refs = 0;
+
+        /** @name Budget bookkeeping (inert while unbudgeted). */
+        /// @{
+        std::int64_t pins = 0;
+        std::int64_t uses = 0;
+        std::uint64_t lruSeq = 0;
+        Time pinnedUntil = -1;
+        /// @}
     };
+
+    void erase(std::unordered_map<ChunkHash, Slot>::iterator it);
 
     std::unordered_map<ChunkHash, Slot> chunks;
     Bytes _storedBytes = 0;
     Bytes _rawBytes = 0;
+    Bytes _budget = 0;
+    bool refcountProtected = false;
+    const EvictionPolicy *policy = nullptr;
+    std::uint64_t lruCounter = 0;
     ChunkStoreStats _stats;
 };
 

@@ -1,0 +1,136 @@
+#include "storage/eviction.hh"
+
+#include "util/logging.hh"
+
+namespace vhive::storage {
+
+namespace {
+
+/**
+ * Deterministic argmin over candidates: @p better(a, b) returns true
+ * when a should be evicted before b. Ties inside the comparator fall
+ * back to lruSeq then key, so victim choice never depends on the
+ * order callers enumerated their hash maps in.
+ */
+template <typename Better>
+std::ptrdiff_t
+argVictim(const std::vector<EvictionCandidate> &cs, Better better)
+{
+    if (cs.empty())
+        return -1;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < cs.size(); ++i)
+        if (better(cs[i], cs[best]))
+            best = i;
+    return static_cast<std::ptrdiff_t>(best);
+}
+
+bool
+olderThen(const EvictionCandidate &a, const EvictionCandidate &b)
+{
+    if (a.lruSeq != b.lruSeq)
+        return a.lruSeq < b.lruSeq;
+    return a.key < b.key;
+}
+
+class LruPolicy final : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "lru"; }
+
+    std::ptrdiff_t
+    pickVictim(const std::vector<EvictionCandidate> &cs,
+               Time) const override
+    {
+        return argVictim(cs, [](const EvictionCandidate &a,
+                                const EvictionCandidate &b) {
+            return olderThen(a, b);
+        });
+    }
+};
+
+class SharingAwarePolicy final : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "sharing-aware"; }
+
+    std::ptrdiff_t
+    pickVictim(const std::vector<EvictionCandidate> &cs,
+               Time) const override
+    {
+        // Least-shared first: an entry one function touched once goes
+        // long before a runtime chunk every resident function maps.
+        return argVictim(cs, [](const EvictionCandidate &a,
+                                const EvictionCandidate &b) {
+            if (a.shares != b.shares)
+                return a.shares < b.shares;
+            return olderThen(a, b);
+        });
+    }
+};
+
+class PrefetchPinnedPolicy final : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "prefetch-pinned"; }
+
+    std::ptrdiff_t
+    pickVictim(const std::vector<EvictionCandidate> &cs,
+               Time now) const override
+    {
+        // Unshielded entries (never pinned, or window passed) are
+        // plain LRU. Only when every candidate is still inside its
+        // predicted window does the shield yield — budgets are hard —
+        // and then the entry whose window expires soonest goes first.
+        bool any_unshielded = false;
+        for (const EvictionCandidate &c : cs)
+            if (c.pinnedUntil < now)
+                any_unshielded = true;
+        if (any_unshielded) {
+            std::ptrdiff_t best = -1;
+            for (std::size_t i = 0; i < cs.size(); ++i) {
+                if (cs[i].pinnedUntil >= now)
+                    continue;
+                if (best < 0 ||
+                    olderThen(cs[i],
+                              cs[static_cast<std::size_t>(best)]))
+                    best = static_cast<std::ptrdiff_t>(i);
+            }
+            return best;
+        }
+        return argVictim(cs, [](const EvictionCandidate &a,
+                                const EvictionCandidate &b) {
+            if (a.pinnedUntil != b.pinnedUntil)
+                return a.pinnedUntil < b.pinnedUntil;
+            return olderThen(a, b);
+        });
+    }
+};
+
+} // namespace
+
+const char *
+evictionPolicyName(EvictionPolicyKind kind)
+{
+    return evictionPolicyFor(kind).name();
+}
+
+const EvictionPolicy &
+evictionPolicyFor(EvictionPolicyKind kind)
+{
+    static const LruPolicy lru;
+    static const SharingAwarePolicy sharing;
+    static const PrefetchPinnedPolicy pinned;
+    switch (kind) {
+      case EvictionPolicyKind::Lru:
+        return lru;
+      case EvictionPolicyKind::SharingAware:
+        return sharing;
+      case EvictionPolicyKind::PrefetchPinned:
+        return pinned;
+    }
+    fatal("evictionPolicyFor: unknown kind %d",
+          static_cast<int>(kind));
+}
+
+} // namespace vhive::storage

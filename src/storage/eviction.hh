@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Pluggable eviction policies for byte-budgeted caches (ROADMAP item
+ * 3). Every cache with a byte budget — warm page/SSD tiers, the
+ * worker's resident chunk cache, the fleet's staged chunk index —
+ * consults one of these policies when it must shed bytes. "How Low Can
+ * You Go?" (arXiv:2109.13319) argues the practical cold-start floor is
+ * set by *sharing-aware* caching under a budget, so the registry holds
+ * three built-ins spanning that design axis:
+ *
+ *  - Lru:            classic least-recently-used; the baseline.
+ *  - SharingAware:   protects entries many resident functions lean on
+ *                    (live manifest references + historical serves);
+ *                    the paper-motivated policy.
+ *  - PrefetchPinned: honors soft pin deadlines set by ControlPolicy
+ *                    prefetch actions — a prefetched range is shielded
+ *                    until its predicted invocation window passes,
+ *                    then competes as plain LRU.
+ *
+ * Policies are pure functions over a candidate list (no internal
+ * state, no RNG), so victim selection is deterministic regardless of
+ * container iteration order — a requirement for the parallel kernel's
+ * bit-identical digests. Hard pins (entries mid-fetch or mid-read) are
+ * filtered by the cache *before* candidates reach a policy; a policy
+ * only ever sees entries that are safe to drop.
+ */
+
+#ifndef VHIVE_STORAGE_EVICTION_HH
+#define VHIVE_STORAGE_EVICTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace vhive::storage {
+
+enum class EvictionPolicyKind
+{
+    /** Least-recently-used. */
+    Lru,
+    /** LRU weighted down by live references + lifetime serves. */
+    SharingAware,
+    /** LRU that shields prefetch-pinned entries until their window. */
+    PrefetchPinned,
+};
+
+const char *evictionPolicyName(EvictionPolicyKind kind);
+
+/** One evictable cache entry, as a policy sees it. */
+struct EvictionCandidate
+{
+    /** Cache key (chunk hash / page id) — deterministic tie-break. */
+    std::uint64_t key = 0;
+
+    /** Bytes reclaimed by evicting this entry. */
+    Bytes bytes = 0;
+
+    /** Monotonic last-touch sequence (higher = more recent). */
+    std::uint64_t lruSeq = 0;
+
+    /**
+     * Sharing signal: live references (resident manifests holding the
+     * entry) plus serves it has absorbed. Higher = more shared.
+     */
+    std::int64_t shares = 0;
+
+    /**
+     * Soft prefetch shield: the entry was prefetched for a predicted
+     * invocation window ending here; < now means expired. -1 = never
+     * pinned.
+     */
+    Time pinnedUntil = -1;
+};
+
+/**
+ * Victim selector. Stateless and deterministic: equal candidate lists
+ * (in any order) and equal @p now always pick the same victim.
+ */
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Index of the candidate to evict, or -1 when @p candidates is
+     * empty. Policies must always pick when candidates exist — byte
+     * budgets are hard, so a soft shield (pinnedUntil) only reorders
+     * preference, never blocks reclamation outright.
+     */
+    virtual std::ptrdiff_t
+    pickVictim(const std::vector<EvictionCandidate> &candidates,
+               Time now) const = 0;
+};
+
+/** The registry: one shared immutable instance per kind. */
+const EvictionPolicy &evictionPolicyFor(EvictionPolicyKind kind);
+
+} // namespace vhive::storage
+
+#endif // VHIVE_STORAGE_EVICTION_HH

@@ -105,6 +105,20 @@ FileStore::dropFileCaches(FileId f)
     std::fill(file.cached.begin(), file.cached.end(), false);
 }
 
+void
+FileStore::dropFileCacheRange(FileId f, Bytes offset, Bytes len)
+{
+    File &file = get(f);
+    if (len <= 0)
+        return;
+    Bytes first = offset / kPageSize;
+    Bytes last = std::min<Bytes>((offset + len - 1) / kPageSize,
+                                 static_cast<Bytes>(
+                                     file.cached.size()) - 1);
+    for (Bytes p = first; p <= last; ++p)
+        file.cached[static_cast<size_t>(p)] = false;
+}
+
 sim::Task<void>
 FileStore::fetchWindow(FileId f, Bytes offset, Bytes len,
                        sim::Semaphore *pipeline, sim::Latch *done)

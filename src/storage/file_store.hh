@@ -151,6 +151,13 @@ class FileStore
     /** Drop one file's cached pages (fadvise DONTNEED). */
     void dropFileCaches(FileId f);
 
+    /**
+     * Drop the cached pages covering [offset, offset+len) of one file
+     * (ranged fadvise DONTNEED) — the page-cache tier budget's
+     * eviction primitive. Out-of-range pages are ignored.
+     */
+    void dropFileCacheRange(FileId f, Bytes offset, Bytes len);
+
     const FileStoreStats &stats() const { return _stats; }
     void resetStats() { _stats = FileStoreStats{}; }
 

@@ -98,6 +98,21 @@ chunkArtifact(const std::string &artifact, Bytes raw_bytes,
                     kSharedTag);
         } else {
             hash = mix64(draw ^ 0xa11c0a7ULL) & ~kSharedTag;
+            // Delta re-record churn: a unique chunk's content identity
+            // is set by the *last* version that rewrote it, so two
+            // consecutive versions share exactly the chunks no
+            // intervening re-record touched. The loop is empty for
+            // version <= 1 — bit-identical to the unversioned model.
+            std::uint64_t salt = 0;
+            for (std::int64_t v = 2; v <= model.recordVersion; ++v) {
+                std::uint64_t ev = mix64(
+                    draw ^ mix64(static_cast<std::uint64_t>(v)) ^
+                    0xde17a5ULL);
+                if (unit(ev) < model.rerecordChurn)
+                    salt = ev;
+            }
+            if (salt != 0)
+                hash = mix64(hash ^ salt) & ~kSharedTag;
         }
         m.chunks.push_back(storage::ChunkRef{
             hash, raw, storedSize(hash, raw, model)});

@@ -103,6 +103,22 @@ struct ChunkingModel
      * chunks overlap heavily — the effect dedup exploits.
      */
     Bytes sharedPoolBytes = 24 * kMiB;
+
+    /**
+     * Record version of the artifact content (the function's
+     * re-record count + 1). Each version >= 2 independently rewrites
+     * a rerecordChurn fraction of the function-unique chunks — their
+     * content identity changes, everything else keeps its hash — so a
+     * re-recorded manifest shares exactly its un-churned chunks with
+     * the previous version (the delta-staging opportunity).
+     * Shared-pool chunks never churn: the runtime image is immutable.
+     * Version <= 1 emits manifests bit-identical to builds that never
+     * re-record.
+     */
+    std::int64_t recordVersion = 1;
+
+    /** Per-version churn probability of a unique chunk. */
+    double rerecordChurn = 0.25;
 };
 
 /** The chunk recipes for one function's transferable artifacts. */

@@ -403,7 +403,7 @@ TEST(DedupReap, FleetSharedStagingCountsDedupInFleetStats)
     EXPECT_EQ(fs.snapshotBuilds, 3);
 }
 
-TEST(DedupReap, RerecordReleasesStagedChunkRefs)
+TEST(DedupReap, InvalidateRetainsRefsUntilRetire)
 {
     Simulation sim;
     core::WorkerConfig cfg;
@@ -424,22 +424,33 @@ TEST(DedupReap, RerecordReleasesStagedChunkRefs)
     std::int64_t staged = orch.stagedChunkIndex().chunkCount();
     ASSERT_GT(staged, 0);
 
-    // Invalidation drops this function's references; with a single
-    // function every staged chunk hits refcount zero and is evicted.
+    // Invalidation keeps the outgoing version's references alive so
+    // the re-record's staging can diff against them (delta
+    // manifests): nothing is released yet.
     orch.invalidateRecord("helloworld");
     EXPECT_EQ(orch.manifests("helloworld"), nullptr);
+    EXPECT_EQ(orch.stagedChunkIndex().chunkCount(), staged);
+    EXPECT_EQ(orch.stagedChunkIndex().stats().evictions, 0);
+
+    // Retiring the function (fleet GC) releases everything; with a
+    // single function every staged chunk hits refcount zero.
+    orch.retireRecord("helloworld");
+    EXPECT_EQ(orch.stagedChunkIndex().chunkCount(), 0);
+    EXPECT_EQ(orch.stagedChunkIndex().stats().evictions, staged);
+
+    // Idempotent: a second retire finds nothing to release.
+    orch.retireRecord("helloworld");
     EXPECT_EQ(orch.stagedChunkIndex().chunkCount(), 0);
     EXPECT_EQ(orch.stagedChunkIndex().stats().evictions, staged);
 }
 
 TEST(DedupReap, SharedChunkRefsReleaseInOrder)
 {
-    // Release ordering of the staged index under invalidation: a
-    // chunk referenced by two functions must survive the first
-    // function's invalidateRecord() with exactly the other function's
-    // references, a repeated invalidation must release nothing (no
-    // double-release, no negative counts), and only the last holder's
-    // invalidation evicts.
+    // Release ordering of the staged index under retirement: a chunk
+    // referenced by two functions must survive the first function's
+    // retireRecord() with exactly the other function's references, a
+    // repeated retirement must release nothing (no double-release, no
+    // negative counts), and only the last holder's retirement evicts.
     Simulation sim;
     core::WorkerConfig cfg;
     cfg.objectStore = net::ObjectStoreParams::remote();
@@ -491,22 +502,22 @@ TEST(DedupReap, SharedChunkRefsReleaseInOrder)
               countRefs(*hw, shared_hash) +
                   countRefs(*py, shared_hash));
 
-    // Drop helloworld: the shared chunk keeps pyaes's references.
-    orch.invalidateRecord("helloworld");
+    // Retire helloworld: the shared chunk keeps pyaes's references.
+    orch.retireRecord("helloworld");
     EXPECT_EQ(staged.refCount(shared_hash),
               countRefs(*py, shared_hash));
     EXPECT_DOUBLE_EQ(staged.residentFraction(py->ws), 1.0);
     EXPECT_DOUBLE_EQ(staged.residentFraction(py->vmmState), 1.0);
 
-    // Repeated invalidation finds nothing left to release.
+    // Repeated retirement finds nothing left to release.
     std::int64_t count_after = staged.chunkCount();
-    orch.invalidateRecord("helloworld");
+    orch.retireRecord("helloworld");
     EXPECT_EQ(staged.chunkCount(), count_after);
     EXPECT_EQ(staged.refCount(shared_hash),
               countRefs(*py, shared_hash));
 
-    // The last holder's invalidation evicts everything.
-    orch.invalidateRecord("pyaes");
+    // The last holder's retirement evicts everything.
+    orch.retireRecord("pyaes");
     EXPECT_EQ(staged.refCount(shared_hash), 0);
     EXPECT_EQ(staged.chunkCount(), 0);
 }
@@ -514,10 +525,11 @@ TEST(DedupReap, SharedChunkRefsReleaseInOrder)
 TEST(DedupReap, InvalidateMidColdStartKeepsIndexConsistent)
 {
     // invalidateRecord() racing an in-flight cold start: the loader
-    // pinned the manifests, so the fetch completes normally, the
-    // staged index drops exactly this function's references (the
-    // other function's stay fully resident), and a re-record +
-    // re-stage converges back to a fully staged pair.
+    // pinned the manifests, so the fetch completes normally, the old
+    // version's references are retained for delta diffing (the other
+    // function's stay fully resident), and a re-record + re-stage
+    // moves only the churned chunks before converging back to a
+    // fully staged pair.
     Simulation sim;
     core::WorkerConfig cfg;
     cfg.objectStore = net::ObjectStoreParams::remote();
@@ -581,19 +593,18 @@ TEST(DedupReap, InvalidateMidColdStartKeepsIndexConsistent)
     EXPECT_GT(bd.total, 0);
     EXPECT_EQ(orch.manifests("helloworld"), nullptr);
 
-    // The staged index holds exactly pyaes's chunks now.
+    // Delta retention: the old version's references survive the
+    // invalidation, so *both* functions are still fully resident in
+    // the staged index (nothing released before the delta lands).
     const auto &staged = orch.stagedChunkIndex();
     EXPECT_DOUBLE_EQ(staged.residentFraction(py->ws), 1.0);
     EXPECT_DOUBLE_EQ(staged.residentFraction(py->vmmState), 1.0);
-    std::set<storage::ChunkHash> keep;
-    for (const auto *man : {&py->vmmState, &py->ws})
-        for (const auto &c : man->chunks)
-            keep.insert(c.hash);
-    EXPECT_EQ(staged.chunkCount(),
-              static_cast<std::int64_t>(keep.size()));
+    EXPECT_DOUBLE_EQ(staged.residentFraction(hw->ws), 1.0);
+    EXPECT_DOUBLE_EQ(staged.residentFraction(hw->vmmState), 1.0);
 
     // Re-record + re-stage: record phase first (the invalidation
-    // cleared the record), then a chunked cold start stages again.
+    // cleared the record), then a chunked cold start stages the new
+    // version as a delta against the retained old references.
     runScenario(sim, [&]() -> Task<void> {
         core::InvokeOptions opts;
         opts.forceCold = true;
@@ -608,6 +619,26 @@ TEST(DedupReap, InvalidateMidColdStartKeepsIndexConsistent)
     EXPECT_DOUBLE_EQ(staged.residentFraction(hw2->ws), 1.0);
     EXPECT_DOUBLE_EQ(staged.residentFraction(hw2->vmmState), 1.0);
     EXPECT_DOUBLE_EQ(staged.residentFraction(py->ws), 1.0);
+
+    // The delta landed: only the churned chunks were re-uploaded
+    // (strictly fewer than a full manifest), at least one chunk
+    // carried over unchanged, and the old version's exclusive chunks
+    // are gone — the index holds exactly py ∪ hw2.
+    const auto &st = orch.stats("helloworld");
+    std::int64_t hw2_chunks =
+        static_cast<std::int64_t>(hw2->ws.chunks.size() +
+                                  hw2->vmmState.chunks.size());
+    EXPECT_EQ(st.deltaRestages, 1);
+    EXPECT_GT(st.deltaChunksUnchanged, 0);
+    EXPECT_GT(st.deltaChunksUploaded, 0); // churn really happened
+    EXPECT_LT(st.deltaChunksUploaded, hw2_chunks / 2);
+    std::set<storage::ChunkHash> keep;
+    for (const auto *m : {py.get(), hw2.get()})
+        for (const auto *man : {&m->vmmState, &m->ws})
+            for (const auto &c : man->chunks)
+                keep.insert(c.hash);
+    EXPECT_EQ(staged.chunkCount(),
+              static_cast<std::int64_t>(keep.size()));
 }
 
 // ------------------------------------------------- adaptive AIMD window
